@@ -1,0 +1,122 @@
+// Package bftree is the public API of the BF-Tree library, a
+// reproduction of "BF-Tree: Approximate Tree Indexing" (Athanassoulis &
+// Ailamaki, PVLDB 7(14), 2014).
+//
+// A BF-Tree indexes a relation that is ordered or partitioned on the
+// indexed attribute. Its internal nodes are ordinary B+-Tree nodes; its
+// leaves hold Bloom filters — one per data page (or group of pages) —
+// answering "might this key be on that page?". The index trades a
+// configurable false positive probability for a footprint one to two
+// orders of magnitude below a B+-Tree's.
+//
+// The typical flow:
+//
+//	dev := bftree.NewDevice(bftree.SSD, 4096)          // simulated device
+//	store := bftree.NewStore(dev, 0)                   // page store (0 = no cache)
+//	b, _ := bftree.NewRelationBuilder(store, schema)   // build an ordered relation
+//	... b.Append(tuple) ...
+//	file, _ := b.Finish()
+//	idx, _ := bftree.BulkLoad(idxStore, file, "timestamp", bftree.Options{FPP: 1e-3})
+//	res, _ := idx.Search(key)
+//
+// Package-level names are thin aliases over the implementation packages
+// under internal/; see DESIGN.md for the full system inventory.
+package bftree
+
+import (
+	"bftree/internal/core"
+	"bftree/internal/device"
+	"bftree/internal/heapfile"
+	"bftree/internal/pagestore"
+)
+
+// Re-exported types. Options configures a build (false positive
+// probability, pages per filter, hash count, counting filters, parallel
+// probing); Tree is the index; Result carries matching tuples plus the
+// probe's cost accounting.
+type (
+	Options    = core.Options
+	Tree       = core.Tree
+	Result     = core.Result
+	ProbeStats = core.ProbeStats
+	FilterKind = core.FilterKind
+
+	Schema = heapfile.Schema
+	Field  = heapfile.Field
+	File   = heapfile.File
+
+	Store      = pagestore.Store
+	Device     = device.Device
+	DeviceKind = device.Kind
+	PageID     = device.PageID
+	IOStats    = device.Stats
+)
+
+// Device kinds for NewDevice.
+const (
+	Memory = device.Memory
+	SSD    = device.SSD
+	HDD    = device.HDD
+)
+
+// Filter kinds for Options.Filter.
+const (
+	StandardFilter = core.StandardFilter
+	CountingFilter = core.CountingFilter
+)
+
+// NewDevice creates a simulated storage device of the given kind with
+// the default cost profile (derived from the paper's testbed) and page
+// size in bytes (0 selects 4096).
+func NewDevice(kind DeviceKind, pageSize int) *Device {
+	return device.New(kind, pageSize)
+}
+
+// NewStore layers page management over a device. cachePages > 0 enables
+// an LRU buffer cache of that many pages (the warm-cache configurations
+// of the paper); 0 leaves every access cold, like the paper's O_DIRECT
+// runs.
+func NewStore(dev *Device, cachePages int) *Store {
+	if cachePages > 0 {
+		return pagestore.New(dev, pagestore.WithCache(cachePages))
+	}
+	return pagestore.New(dev)
+}
+
+// NewRelationBuilder opens a builder for an ordered (or partitioned)
+// relation of fixed-size tuples on store. Feed tuples in key order and
+// call Finish for the File to index.
+func NewRelationBuilder(store *Store, schema Schema) (*heapfile.Builder, error) {
+	return heapfile.NewBuilder(store, schema)
+}
+
+// BulkLoad builds a BF-Tree over the named field of file, writing index
+// pages to idxStore (which may sit on a different device than the data —
+// the paper's five storage configurations place index and data on
+// memory, SSD or HDD independently).
+func BulkLoad(idxStore *Store, file *File, field string, opts Options) (*Tree, error) {
+	fieldIdx := file.Schema().FieldIndex(field)
+	if fieldIdx < 0 {
+		return nil, &UnknownFieldError{Field: field}
+	}
+	return core.BulkLoad(idxStore, file, fieldIdx, opts)
+}
+
+// Open reopens an index previously built on idxStore from metadata
+// produced by Tree.MarshalMeta, without rebuilding.
+func Open(idxStore *Store, file *File, meta []byte) (*Tree, error) {
+	return core.Open(idxStore, file, meta)
+}
+
+// BufferedInserter batches inserts and applies them leaf-by-leaf on
+// flush — the update-intensive mode of the paper's Section 4.2. Obtain
+// one with Tree.NewBufferedInserter.
+type BufferedInserter = core.BufferedInserter
+
+// UnknownFieldError reports an index build over a field the schema does
+// not declare.
+type UnknownFieldError struct{ Field string }
+
+func (e *UnknownFieldError) Error() string {
+	return "bftree: schema has no field named " + e.Field
+}

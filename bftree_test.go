@@ -1,0 +1,170 @@
+package bftree_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"bftree"
+)
+
+var schema = bftree.Schema{
+	TupleSize: 64,
+	Fields:    []bftree.Field{{Name: "ts", Offset: 0}, {Name: "value", Offset: 8}},
+}
+
+func buildRelation(t *testing.T, store *bftree.Store, n int) *bftree.File {
+	t.Helper()
+	b, err := bftree.NewRelationBuilder(store, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(tup[0:8], uint64(i*3)) // sparse ordered keys
+		binary.BigEndian.PutUint64(tup[8:16], uint64(i))
+		if err := b.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dataDev := bftree.NewDevice(bftree.HDD, 4096)
+	idxDev := bftree.NewDevice(bftree.SSD, 4096)
+	dataStore := bftree.NewStore(dataDev, 0)
+	idxStore := bftree.NewStore(idxDev, 0)
+
+	file := buildRelation(t, dataStore, 10000)
+	idx, err := bftree.BulkLoad(idxStore, file, "ts", bftree.Options{FPP: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.SizeBytes() == 0 || idx.Height() < 1 {
+		t.Fatal("index geometry wrong")
+	}
+
+	// Hits.
+	for _, k := range []uint64{0, 3, 2997, 29997} {
+		res, err := idx.SearchFirst(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != 1 {
+			t.Fatalf("key %d: %d tuples", k, len(res.Tuples))
+		}
+	}
+	// Miss (in-domain gap).
+	res, err := idx.Search(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Fatal("gap key matched")
+	}
+	// Range scan.
+	rng, err := idx.RangeScan(30, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rng.Tuples) != 11 { // keys 30,33,...,60
+		t.Fatalf("range returned %d tuples, want 11", len(rng.Tuples))
+	}
+	// Device accounting is visible through the facade.
+	if idxDev.Stats().Reads() == 0 || dataDev.Stats().Reads() == 0 {
+		t.Error("device stats should record the probes")
+	}
+}
+
+func TestUnknownField(t *testing.T) {
+	store := bftree.NewStore(bftree.NewDevice(bftree.Memory, 4096), 0)
+	file := buildRelation(t, store, 100)
+	_, err := bftree.BulkLoad(store, file, "nope", bftree.Options{FPP: 0.01})
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, ok := err.(*bftree.UnknownFieldError); !ok {
+		t.Fatalf("want UnknownFieldError, got %T", err)
+	}
+	if err.Error() == "" {
+		t.Error("error must format")
+	}
+}
+
+func TestCachedStoreFacade(t *testing.T) {
+	dev := bftree.NewDevice(bftree.HDD, 4096)
+	store := bftree.NewStore(dev, 128)
+	file := buildRelation(t, store, 1000)
+	idx, err := bftree.BulkLoad(store, file, "ts", bftree.Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated probes of the same key hit the cache: the second batch
+	// must charge fewer device reads than the first. Drop the cache
+	// first — the build's write-through already warmed it.
+	store.DropCache()
+	dev.ResetStats()
+	if _, err := idx.SearchFirst(300); err != nil {
+		t.Fatal(err)
+	}
+	cold := dev.Stats().Reads()
+	dev.ResetStats()
+	if _, err := idx.SearchFirst(300); err != nil {
+		t.Fatal(err)
+	}
+	warm := dev.Stats().Reads()
+	if warm >= cold {
+		t.Errorf("warm probe read %d pages, cold %d", warm, cold)
+	}
+}
+
+func TestCountingFilterFacade(t *testing.T) {
+	store := bftree.NewStore(bftree.NewDevice(bftree.Memory, 4096), 0)
+	file := buildRelation(t, store, 2000)
+	idx, err := bftree.BulkLoad(store, file, "ts", bftree.Options{FPP: 0.01, Filter: bftree.CountingFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.SearchFirst(30)
+	if err != nil || len(res.Tuples) != 1 {
+		t.Fatal("counting-filter index broken")
+	}
+}
+
+func TestFacadePersistenceAndBuffer(t *testing.T) {
+	idxStore := bftree.NewStore(bftree.NewDevice(bftree.Memory, 4096), 0)
+	dataStore := bftree.NewStore(bftree.NewDevice(bftree.Memory, 4096), 0)
+	file := buildRelation(t, dataStore, 3000)
+	idx, err := bftree.BulkLoad(idxStore, file, "ts", bftree.Options{FPP: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := idx.MarshalMeta()
+	back, err := bftree.Open(idxStore, file, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.SearchFirst(300)
+	if err != nil || len(res.Tuples) != 1 {
+		t.Fatal("reopened facade index broken")
+	}
+
+	var buf *bftree.BufferedInserter = back.NewBufferedInserter(16)
+	if err := buf.Insert(300, file.PageOf(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = back.SearchFirst(300)
+	if err != nil || len(res.Tuples) != 1 {
+		t.Fatal("rebuild through facade broken")
+	}
+}

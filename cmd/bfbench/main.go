@@ -1,0 +1,81 @@
+// Command bfbench runs the paper's experiments and prints the tables
+// and figure series of the evaluation section.
+//
+// Usage:
+//
+//	bfbench -list                      # show experiment ids
+//	bfbench -exp table2                # run one experiment
+//	bfbench -exp all                   # run everything
+//	bfbench -exp fig5a -scale paper    # the paper's 1 GB relation
+//	bfbench -exp fig13 -tuples 500000  # custom synthetic size
+//	bfbench -exp table3 -probes 5000   # more probes per measurement
+//
+// Scale notes: the default scale shrinks the paper's datasets ~16x so a
+// full run stays interactive; ratios (capacity gain, normalized response
+// time, false reads per probe) are scale-invariant. -scale paper uses
+// the full 1 GB relation and TPCH SF1 sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bftree/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale  = flag.String("scale", "default", "dataset scale: default | paper")
+		tuples = flag.Uint64("tuples", 0, "override synthetic relation size in tuples")
+		probes = flag.Int("probes", 0, "override probes per measurement")
+		seed   = flag.Int64("seed", 0, "override workload seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.ExperimentNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "bfbench: -exp required (or -list); e.g. bfbench -exp table2")
+		os.Exit(2)
+	}
+
+	s := bench.DefaultScale()
+	if *scale == "paper" {
+		s = bench.PaperScale()
+	} else if *scale != "default" {
+		fmt.Fprintf(os.Stderr, "bfbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *tuples > 0 {
+		s.SyntheticTuples = *tuples
+	}
+	if *probes > 0 {
+		s.Probes = *probes
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.ExperimentNames()
+	}
+	for _, name := range names {
+		start := time.Now()
+		t, err := bench.Run(name, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

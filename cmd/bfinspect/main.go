@@ -1,0 +1,95 @@
+// Command bfinspect builds a BF-Tree (and the B+-Tree baseline) over a
+// generated dataset and prints the geometry the paper's model predicts
+// alongside what the implementation actually built: heights, leaf
+// counts, sizes, keys per leaf, and the capacity gain.
+//
+// Usage:
+//
+//	bfinspect -tuples 262144 -fpp 1e-3
+//	bfinspect -tuples 262144 -fpp 0.2 -field att1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bftree/internal/bench"
+	"bftree/internal/bptree"
+	"bftree/internal/core"
+	"bftree/internal/device"
+	"bftree/internal/model"
+	"bftree/internal/pagestore"
+	"bftree/internal/workload"
+)
+
+func main() {
+	var (
+		tuples = flag.Uint64("tuples", 262144, "synthetic relation size in tuples")
+		fpp    = flag.Float64("fpp", 1e-3, "false positive probability")
+		field  = flag.String("field", "pk", "indexed field: pk | att1")
+		seed   = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	dataStore := pagestore.New(device.New(device.Memory, 4096))
+	idxStore := pagestore.New(device.New(device.Memory, 4096))
+	syn, err := workload.GenerateSynthetic(dataStore, *tuples, 11, *seed)
+	fail(err)
+
+	fieldIdx := workload.SyntheticSchema.FieldIndex(*field)
+	if fieldIdx < 0 {
+		fmt.Fprintf(os.Stderr, "bfinspect: unknown field %q (pk or att1)\n", *field)
+		os.Exit(2)
+	}
+	avgCard := 1.0
+	if fieldIdx == 1 {
+		avgCard = float64(*tuples) / float64(syn.NumKeys)
+	}
+
+	bf, err := core.BulkLoad(idxStore, syn.File, fieldIdx, core.Options{FPP: *fpp})
+	fail(err)
+	entries, err := bench.BuildPKEntries(syn.File, fieldIdx)
+	fail(err)
+	bp, err := bptree.BulkLoad(idxStore, entries, 1.0)
+	fail(err)
+
+	p := model.Params{
+		PageSize:  4096,
+		TupleSize: 256,
+		NoTuples:  float64(*tuples),
+		AvgCard:   avgCard,
+		KeySize:   8,
+		PtrSize:   8,
+		FPP:       *fpp,
+		IdxIO:     1, DataIO: 50, SeqDtIO: 5,
+	}
+	fail(p.Validate())
+
+	fmt.Printf("relation: %d tuples, %d pages (%d MB), field %s (avg cardinality %.1f)\n\n",
+		syn.File.NumTuples(), syn.File.NumPages(), syn.File.SizeBytes()/(1<<20), *field, avgCard)
+
+	fmt.Printf("%-28s %12s %12s\n", "metric", "model", "built")
+	row := func(name string, modelV, builtV interface{}) {
+		fmt.Printf("%-28s %12v %12v\n", name, modelV, builtV)
+	}
+	row("B+-Tree leaves", int(p.BPLeaves()), bp.NumLeaves())
+	row("B+-Tree height", int(p.BPHeight()), bp.Height())
+	row("B+-Tree size (pages)", int(p.BPSize()/4096), bp.NumNodes())
+	row("BF keys per leaf (Eq 5)", int(p.BFKeysPerPage()), bf.Geometry().KeysPerLeaf)
+	row("BF-Tree leaves (Eq 6)", int(p.BFLeaves()+0.5)+1, bf.NumLeaves())
+	row("BF-Tree height (Eq 7)", int(p.BFHeight()), bf.Height())
+	row("BF-Tree size (pages)", int(p.BFSize()/4096)+1, bf.NumNodes())
+	row("data pages per leaf (Eq 8)", int(p.BFPagesLeaf()), "-")
+	fmt.Printf("\ncapacity gain: model %.2fx, built %.2fx\n",
+		p.BPSize()/p.BFSize(), float64(bp.NumNodes())/float64(bf.NumNodes()))
+	fmt.Printf("model probe cost (idxIO=1,dataIO=50,seqDtIO=5): B+ %.1f, BF %.1f\n",
+		p.BPCost(), p.BFCost())
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfinspect:", err)
+		os.Exit(1)
+	}
+}

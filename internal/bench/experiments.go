@@ -1,0 +1,478 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bftree/internal/bptree"
+	"bftree/internal/core"
+	"bftree/internal/device"
+	"bftree/internal/hashindex"
+	"bftree/internal/workload"
+)
+
+// table2FPPs and table3FPPs are the sweeps of Tables 2 and 3.
+var (
+	table2FPPs = []float64{0.2, 0.1, 1.5e-7, 1e-15}
+	table3FPPs = []float64{0.2, 0.1, 1.9e-2, 1.8e-3, 1.72e-4}
+	// fig5FPPs spans the paper's x-axis (0.2 down to 1e-15).
+	fig5FPPs = []float64{0.2, 0.1, 1.9e-2, 1.8e-3, 1.72e-4, 1.5e-7, 1e-10, 1e-15}
+)
+
+// syntheticEnv creates a configuration cell with relation R generated on
+// the data device.
+func syntheticEnv(cfg StorageConfig, scale Scale, cachePages int) (*Env, *workload.Synthetic, error) {
+	env := NewEnv(cfg, cachePages)
+	syn, err := workload.GenerateSynthetic(env.DataStore, scale.SyntheticTuples, 11, scale.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return env, syn, nil
+}
+
+// pkProbes returns the PK probe keys: 100 % hit rate, as in Section 6.2.
+func pkProbes(syn *workload.Synthetic, scale Scale) ([]uint64, error) {
+	existing := make([]uint64, 4096)
+	step := syn.MaxPK / uint64(len(existing))
+	if step == 0 {
+		step = 1
+	}
+	for i := range existing {
+		existing[i] = uint64(i) * step % (syn.MaxPK + 1)
+	}
+	ps, err := workload.MakeProbes(scale.Probes, 1.0, existing, nil, scale.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return ps.Keys, nil
+}
+
+// att1Probes returns the ATT1 probe keys: 14 % of probes match, as in
+// Section 6.3, with misses falling inside the key domain.
+func att1Probes(syn *workload.Synthetic, scale Scale) ([]uint64, error) {
+	maxKey := syn.ATT1Keys[len(syn.ATT1Keys)-1]
+	absent := workload.AbsentWithin(1, maxKey, syn.ATT1Keys, 4096)
+	if len(absent) == 0 {
+		absent = workload.AbsentKeys(maxKey, 4096)
+	}
+	ps, err := workload.MakeProbes(scale.Probes, 0.14, syn.ATT1Keys, absent, scale.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	return ps.Keys, nil
+}
+
+// buildBF bulk-loads a BF-Tree in a cell.
+func buildBF(env *Env, syn *workload.Synthetic, fieldIdx int, fpp float64) (*core.Tree, error) {
+	return core.BulkLoad(env.IdxStore, syn.File, fieldIdx, core.Options{FPP: fpp})
+}
+
+// buildBP bulk-loads the B+-Tree baseline in a cell: per-tuple entries
+// for the unique PK, one entry per distinct key for ordered non-unique
+// attributes (the paper's baseline; see BuildDedupEntries).
+func buildBP(env *Env, syn *workload.Synthetic, fieldIdx int) (*bptree.Tree, error) {
+	var entries []bptree.Entry
+	var err error
+	if fieldIdx == 0 {
+		entries, err = BuildPKEntries(syn.File, fieldIdx)
+	} else {
+		entries, err = BuildDedupEntries(syn.File, fieldIdx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bptree.BulkLoad(env.IdxStore, entries, 1.0)
+}
+
+// measureBP picks the probe style matching the entry layout.
+func measureBP(env *Env, tr *bptree.Tree, syn *workload.Synthetic, fieldIdx int, keys []uint64) (*Measurement, error) {
+	if fieldIdx == 0 {
+		return MeasureBPTree(env, tr, syn.File, fieldIdx, keys)
+	}
+	return MeasureBPTreeOrdered(env, tr, syn.File, fieldIdx, keys)
+}
+
+// RunTable2 reproduces Table 2: index size in pages for the B+-Tree and
+// BF-Trees at four fpp settings, for both the PK and ATT1 indexes of the
+// synthetic relation.
+func RunTable2(scale Scale) (*Table, error) {
+	cfg := StorageConfig{Name: "mem/mem", Index: device.Memory, Data: device.Memory}
+	env, syn, err := syntheticEnv(cfg, scale, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Table 2: index size in 4KB pages (%d-tuple relation, %d MB)",
+			scale.SyntheticTuples, scale.SyntheticTuples*256/(1<<20)),
+		Header: []string{"variation", "fpp", "pages(PK)", "pages(ATT1)", "gain(PK)", "gain(ATT1)"},
+	}
+	bpPK, err := buildBP(env, syn, 0)
+	if err != nil {
+		return nil, err
+	}
+	bpATT, err := buildBP(env, syn, 1)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("B+-Tree", "-", fmt.Sprint(bpPK.NumNodes()), fmt.Sprint(bpATT.NumNodes()), "1x", "1x")
+	for _, fpp := range table2FPPs {
+		bfPK, err := buildBF(env, syn, 0, fpp)
+		if err != nil {
+			return nil, err
+		}
+		bfATT, err := buildBF(env, syn, 1, fpp)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("BF-Tree", fmtF(fpp),
+			fmt.Sprint(bfPK.NumNodes()), fmt.Sprint(bfATT.NumNodes()),
+			fmt.Sprintf("%.3gx", float64(bpPK.NumNodes())/float64(bfPK.NumNodes())),
+			fmt.Sprintf("%.3gx", float64(bpATT.NumNodes())/float64(bfATT.NumNodes())))
+	}
+	t.Notes = append(t.Notes, "paper (1GB): PK gain 48x at fpp=0.2 down to 2.25x at 1e-15; ATT1 46x to 2.22x")
+	return t, nil
+}
+
+// RunTable3 reproduces Table 3: falsely read data pages per search for
+// the PK index (100 % hits) and the ATT1 index (14 % hits).
+func RunTable3(scale Scale) (*Table, error) {
+	cfg := StorageConfig{Name: "mem/mem", Index: device.Memory, Data: device.Memory}
+	t := &Table{
+		Title:  "Table 3: false reads per search",
+		Header: []string{"fpp", "false-reads(PK)", "false-reads(ATT1)"},
+	}
+	for _, fpp := range table3FPPs {
+		env, syn, err := syntheticEnv(cfg, scale, 0)
+		if err != nil {
+			return nil, err
+		}
+		bfPK, err := buildBF(env, syn, 0, fpp)
+		if err != nil {
+			return nil, err
+		}
+		pk, err := pkProbes(syn, scale)
+		if err != nil {
+			return nil, err
+		}
+		mPK, err := MeasureBFTree(env, bfPK, pk, true)
+		if err != nil {
+			return nil, err
+		}
+		bfATT, err := buildBF(env, syn, 1, fpp)
+		if err != nil {
+			return nil, err
+		}
+		att, err := att1Probes(syn, scale)
+		if err != nil {
+			return nil, err
+		}
+		mATT, err := MeasureBFTree(env, bfATT, att, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmtF(fpp), fmtF(mPK.FalsePerProbe), fmtF(mATT.FalsePerProbe))
+	}
+	t.Notes = append(t.Notes, "paper (1GB): PK 13.58 → 0.01; ATT1 701 → 0.04 over the same sweep")
+	return t, nil
+}
+
+// RunFig5a reproduces Figure 5(a): PK BF-Tree response time across the
+// fpp sweep for the five storage configurations.
+func RunFig5a(scale Scale) (*Table, error) {
+	return runPerfSweep(scale, 0, true, "Figure 5(a): PK BF-Tree avg response time")
+}
+
+// RunFig8a reproduces Figure 8(a): the same sweep for the non-unique
+// ATT1 index at 14 % hit rate.
+func RunFig8a(scale Scale) (*Table, error) {
+	return runPerfSweep(scale, 1, false, "Figure 8(a): ATT1 BF-Tree avg response time")
+}
+
+func runPerfSweep(scale Scale, fieldIdx int, unique bool, title string) (*Table, error) {
+	configs := FiveConfigs()
+	header := []string{"fpp"}
+	for _, c := range configs {
+		header = append(header, c.Name)
+	}
+	t := &Table{Title: title, Header: header}
+	for _, fpp := range fig5FPPs {
+		row := []string{fmtF(fpp)}
+		for _, cfg := range configs {
+			env, syn, err := syntheticEnv(cfg, scale, 0)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := buildBF(env, syn, fieldIdx, fpp)
+			if err != nil {
+				return nil, err
+			}
+			var keys []uint64
+			if unique {
+				keys, err = pkProbes(syn, scale)
+			} else {
+				keys, err = att1Probes(syn, scale)
+			}
+			if err != nil {
+				return nil, err
+			}
+			m, err := MeasureBFTree(env, tr, keys, unique)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, m.AvgTime.String())
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "columns = index-device/data-device; virtual I/O time per probe")
+	return t, nil
+}
+
+// RunFig5b reproduces Figure 5(b): the B+-Tree baseline across the five
+// configurations plus the memory-resident hash index.
+func RunFig5b(scale Scale) (*Table, error) {
+	return runBaselines(scale, 0, "Figure 5(b): PK baselines avg response time", true)
+}
+
+// RunFig8b reproduces Figure 8(b): ATT1 baselines.
+func RunFig8b(scale Scale) (*Table, error) {
+	return runBaselines(scale, 1, "Figure 8(b): ATT1 baselines avg response time", false)
+}
+
+func runBaselines(scale Scale, fieldIdx int, title string, unique bool) (*Table, error) {
+	t := &Table{Title: title, Header: []string{"index", "config", "avg-time"}}
+	for _, cfg := range FiveConfigs() {
+		env, syn, err := syntheticEnv(cfg, scale, 0)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := buildBP(env, syn, fieldIdx)
+		if err != nil {
+			return nil, err
+		}
+		var keys []uint64
+		if unique {
+			keys, err = pkProbes(syn, scale)
+		} else {
+			keys, err = att1Probes(syn, scale)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m, err := measureBP(env, bp, syn, fieldIdx, keys)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("B+-Tree", cfg.Name, m.AvgTime.String())
+	}
+	// Hash index: always memory-resident; data on HDD and on SSD.
+	for _, dataKind := range []device.Kind{device.HDD, device.SSD} {
+		cfg := StorageConfig{Name: "mem/" + dataKind.String(), Index: device.Memory, Data: dataKind}
+		env, syn, err := syntheticEnv(cfg, scale, 0)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := BuildPKEntries(syn.File, fieldIdx)
+		if err != nil {
+			return nil, err
+		}
+		hi := hashindex.Build(entries)
+		var keys []uint64
+		if unique {
+			keys, err = pkProbes(syn, scale)
+		} else {
+			keys, err = att1Probes(syn, scale)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m, err := MeasureHash(env, hi, syn.File, fieldIdx, keys)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("hash(mem)", cfg.Name, m.AvgTime.String())
+	}
+	return t, nil
+}
+
+// breakEvenRow is one point of Figures 6 and 9.
+type breakEvenRow struct {
+	config   string
+	fpp      float64
+	gain     float64 // B+-Tree size / BF-Tree size
+	normPerf float64 // B+-Tree time / BF-Tree time (>1: BF faster)
+}
+
+// RunFig6 reproduces Figure 6: PK break-even points — normalized
+// performance vs capacity gain per storage configuration.
+func RunFig6(scale Scale) (*Table, error) {
+	return runBreakEven(scale, 0, true, "Figure 6: PK break-even points (norm perf >1 means BF-Tree faster)")
+}
+
+// RunFig9 reproduces Figure 9: ATT1 break-even points.
+func RunFig9(scale Scale) (*Table, error) {
+	return runBreakEven(scale, 1, false, "Figure 9: ATT1 break-even points (norm perf >1 means BF-Tree faster)")
+}
+
+func runBreakEven(scale Scale, fieldIdx int, unique bool, title string) (*Table, error) {
+	var rows []breakEvenRow
+	for _, cfg := range FiveConfigs() {
+		// Baseline per config.
+		env, syn, err := syntheticEnv(cfg, scale, 0)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := buildBP(env, syn, fieldIdx)
+		if err != nil {
+			return nil, err
+		}
+		var keys []uint64
+		if unique {
+			keys, err = pkProbes(syn, scale)
+		} else {
+			keys, err = att1Probes(syn, scale)
+		}
+		if err != nil {
+			return nil, err
+		}
+		mBP, err := measureBP(env, bp, syn, fieldIdx, keys)
+		if err != nil {
+			return nil, err
+		}
+		bpSize := bp.NumNodes()
+		for _, fpp := range fig5FPPs {
+			env2, syn2, err := syntheticEnv(cfg, scale, 0)
+			if err != nil {
+				return nil, err
+			}
+			bf, err := buildBF(env2, syn2, fieldIdx, fpp)
+			if err != nil {
+				return nil, err
+			}
+			var keys2 []uint64
+			if unique {
+				keys2, err = pkProbes(syn2, scale)
+			} else {
+				keys2, err = att1Probes(syn2, scale)
+			}
+			if err != nil {
+				return nil, err
+			}
+			m, err := MeasureBFTree(env2, bf, keys2, unique)
+			if err != nil {
+				return nil, err
+			}
+			perf := float64(mBP.AvgTime) / float64(m.AvgTime)
+			rows = append(rows, breakEvenRow{
+				config:   cfg.Name,
+				fpp:      fpp,
+				gain:     float64(bpSize) / float64(bf.NumNodes()),
+				normPerf: perf,
+			})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].config != rows[j].config {
+			return rows[i].config < rows[j].config
+		}
+		return rows[i].gain < rows[j].gain
+	})
+	t := &Table{Title: title, Header: []string{"config", "fpp", "capacity-gain", "norm-perf"}}
+	for _, r := range rows {
+		t.AddRow(r.config, fmtF(r.fpp), fmtF(r.gain), fmtF(r.normPerf))
+	}
+	t.Notes = append(t.Notes,
+		"break-even = largest capacity gain with norm-perf >= 1; paper: break-even shifts to larger gains as I/O gets slower")
+	return t, nil
+}
+
+// RunFig7 reproduces Figure 7: PK response time with warm caches for
+// SSD/SSD, SSD/HDD and HDD/HDD — the B+-Tree against the fastest
+// BF-Tree.
+func RunFig7(scale Scale) (*Table, error) {
+	return runWarm(scale, 0, true, "Figure 7: PK with warm caches (internal index levels resident)")
+}
+
+// RunFig10 reproduces Figure 10: ATT1 with warm caches.
+func RunFig10(scale Scale) (*Table, error) {
+	return runWarm(scale, 1, false, "Figure 10: ATT1 with warm caches (internal index levels resident)")
+}
+
+func runWarm(scale Scale, fieldIdx int, unique bool, title string) (*Table, error) {
+	const cachePages = 65536
+	t := &Table{Title: title, Header: []string{"config", "B+-Tree", "best BF-Tree", "bf-fpp", "capacity-gain"}}
+	for _, cfg := range WarmConfigs() {
+		env, syn, err := syntheticEnv(cfg, scale, cachePages)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := buildBP(env, syn, fieldIdx)
+		if err != nil {
+			return nil, err
+		}
+		internal, err := bp.InternalPages()
+		if err != nil {
+			return nil, err
+		}
+		if err := WarmIndex(env, internal); err != nil {
+			return nil, err
+		}
+		var keys []uint64
+		if unique {
+			keys, err = pkProbes(syn, scale)
+		} else {
+			keys, err = att1Probes(syn, scale)
+		}
+		if err != nil {
+			return nil, err
+		}
+		mBP, err := measureBP(env, bp, syn, fieldIdx, keys)
+		if err != nil {
+			return nil, err
+		}
+		bestTime := time.Duration(1<<62 - 1)
+		bestFPP := 0.0
+		bestGain := 0.0
+		for _, fpp := range fig5FPPs {
+			env2, syn2, err := syntheticEnv(cfg, scale, cachePages)
+			if err != nil {
+				return nil, err
+			}
+			bf, err := buildBF(env2, syn2, fieldIdx, fpp)
+			if err != nil {
+				return nil, err
+			}
+			internalBF, err := bf.InternalPages()
+			if err != nil {
+				return nil, err
+			}
+			if len(internalBF) > 0 {
+				if err := WarmIndex(env2, internalBF); err != nil {
+					return nil, err
+				}
+			}
+			var keys2 []uint64
+			if unique {
+				keys2, err = pkProbes(syn2, scale)
+			} else {
+				keys2, err = att1Probes(syn2, scale)
+			}
+			if err != nil {
+				return nil, err
+			}
+			m, err := MeasureBFTree(env2, bf, keys2, unique)
+			if err != nil {
+				return nil, err
+			}
+			if m.AvgTime < bestTime {
+				bestTime = m.AvgTime
+				bestFPP = fpp
+				bestGain = float64(bp.NumNodes()) / float64(bf.NumNodes())
+			}
+		}
+		t.AddRow(cfg.Name, mBP.AvgTime.String(), bestTime.String(), fmtF(bestFPP), fmtF(bestGain)+"x")
+	}
+	t.Notes = append(t.Notes,
+		"paper: warm caches help the (taller) B+-Tree more, but BF-Tree stays competitive except ATT1 SSD/SSD")
+	return t, nil
+}

@@ -1,0 +1,272 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// CountingFilter is a counting Bloom filter: each position holds a small
+// counter instead of a single bit, so keys can be removed. Section 7 of
+// the paper discusses deletable Bloom filter variants as the alternative
+// to letting deletes degrade the false positive probability; BF-Tree
+// leaves can be configured to use counting filters for update-heavy
+// workloads (see the deletes ablation).
+//
+// Counters are 4 bits wide, the classic choice: the probability of any
+// counter exceeding 15 under optimal hashing is below 1e-15 per key.
+// Counters saturate at 15 rather than overflowing; a saturated counter is
+// never decremented, which preserves the no-false-negative guarantee at
+// the cost of a marginally higher false positive rate after heavy churn.
+type CountingFilter struct {
+	counters []uint8 // two 4-bit counters per byte
+	slots    uint64
+	hashes   int
+	count    uint64
+}
+
+// NewCounting creates a counting filter sized for the given key count and
+// false positive probability. It uses the same Equation 1 geometry as the
+// plain filter but spends 4 bits per position.
+func NewCounting(keys uint64, fpp float64) (*CountingFilter, error) {
+	p, err := ParamsForKeys(keys, fpp, 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewCountingWithParams(p), nil
+}
+
+// NewCountingWithParams creates a counting filter with explicit geometry;
+// p.Bits is interpreted as the number of counter slots.
+func NewCountingWithParams(p Params) *CountingFilter {
+	slots := p.Bits
+	if slots == 0 {
+		slots = 64
+	}
+	h := p.Hashes
+	if h < 1 {
+		h = 1
+	}
+	return &CountingFilter{
+		counters: make([]uint8, (slots+1)/2),
+		slots:    slots,
+		hashes:   h,
+	}
+}
+
+const countingSaturation = 15
+
+func (c *CountingFilter) get(idx uint64) uint8 {
+	b := c.counters[idx/2]
+	if idx%2 == 0 {
+		return b & 0x0f
+	}
+	return b >> 4
+}
+
+func (c *CountingFilter) set(idx uint64, v uint8) {
+	b := c.counters[idx/2]
+	if idx%2 == 0 {
+		b = (b &^ 0x0f) | (v & 0x0f)
+	} else {
+		b = (b &^ 0xf0) | (v << 4)
+	}
+	c.counters[idx/2] = b
+}
+
+// Add inserts a key, incrementing its k counters (saturating at 15).
+func (c *CountingFilter) Add(key []byte) {
+	h1, h2 := baseHashes(key)
+	for i := 0; i < c.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % c.slots
+		if v := c.get(idx); v < countingSaturation {
+			c.set(idx, v+1)
+		}
+	}
+	c.count++
+}
+
+// AddUint64 inserts a uint64 key in big-endian encoding.
+func (c *CountingFilter) AddUint64(key uint64) {
+	c.Add(beUint64(key))
+}
+
+// Remove deletes a key, decrementing its k counters. Removing a key that
+// was never added corrupts the filter (it may introduce false negatives
+// for other keys), exactly as in the literature; callers must only remove
+// keys they previously added. Saturated counters are left untouched.
+func (c *CountingFilter) Remove(key []byte) error {
+	h1, h2 := baseHashes(key)
+	// First verify membership so that removing an absent key is an error
+	// instead of silent corruption.
+	for i := 0; i < c.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % c.slots
+		if c.get(idx) == 0 {
+			return fmt.Errorf("%w: removing absent key", ErrInvalidParams)
+		}
+	}
+	for i := 0; i < c.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % c.slots
+		if v := c.get(idx); v > 0 && v < countingSaturation {
+			c.set(idx, v-1)
+		}
+	}
+	if c.count > 0 {
+		c.count--
+	}
+	return nil
+}
+
+// RemoveUint64 deletes a uint64 key in big-endian encoding.
+func (c *CountingFilter) RemoveUint64(key uint64) error {
+	return c.Remove(beUint64(key))
+}
+
+// Contains reports whether the key may be in the set.
+func (c *CountingFilter) Contains(key []byte) bool {
+	h1, h2 := baseHashes(key)
+	for i := 0; i < c.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % c.slots
+		if c.get(idx) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsUint64 tests a uint64 key in big-endian encoding.
+func (c *CountingFilter) ContainsUint64(key uint64) bool {
+	return c.Contains(beUint64(key))
+}
+
+// Count returns the net number of keys (adds minus removes).
+func (c *CountingFilter) Count() uint64 { return c.count }
+
+// Raw exposes the underlying counter array (aliased, not copied), for
+// embedders that pack many filters into one page.
+func (c *CountingFilter) Raw() []uint8 { return c.counters }
+
+// CountingFromRaw reconstructs a counting filter around an existing
+// counter array, the inverse of Raw. The slice is aliased.
+func CountingFromRaw(counters []uint8, slots uint64, hashes int, count uint64) *CountingFilter {
+	return &CountingFilter{counters: counters, slots: slots, hashes: hashes, count: count}
+}
+
+// SizeBytes returns the memory footprint of the counter array.
+func (c *CountingFilter) SizeBytes() uint64 { return uint64(len(c.counters)) }
+
+func beUint64(key uint64) []byte {
+	return []byte{
+		byte(key >> 56), byte(key >> 48), byte(key >> 40), byte(key >> 32),
+		byte(key >> 24), byte(key >> 16), byte(key >> 8), byte(key),
+	}
+}
+
+// ScalableFilter is a scalable Bloom filter (Almeida et al., cited in
+// Section 2 of the paper): a sequence of plain filters of geometrically
+// growing capacity and geometrically tightening false positive
+// probability, so that the compound false positive probability stays
+// below the configured bound regardless of how many keys are added.
+type ScalableFilter struct {
+	stages      []*Filter
+	stageKeys   []uint64
+	initialKeys uint64
+	fpp         float64
+	growth      float64 // capacity growth factor per stage
+	tighten     float64 // fpp tightening ratio per stage
+	count       uint64
+}
+
+// NewScalable creates a scalable filter whose compound false positive
+// probability stays below fpp. initialKeys sizes the first stage.
+func NewScalable(initialKeys uint64, fpp float64) (*ScalableFilter, error) {
+	if initialKeys == 0 || fpp <= 0 || fpp >= 1 {
+		return nil, fmt.Errorf("%w: keys=%d fpp=%g", ErrInvalidParams, initialKeys, fpp)
+	}
+	return &ScalableFilter{
+		initialKeys: initialKeys,
+		fpp:         fpp,
+		growth:      2,
+		tighten:     0.5,
+	}, nil
+}
+
+func (s *ScalableFilter) addStage() error {
+	i := len(s.stages)
+	keys := uint64(float64(s.initialKeys) * math.Pow(s.growth, float64(i)))
+	// The stage fpp series fpp·r^i (r<1) sums to fpp/(1-r); scale so the
+	// compound bound is the configured fpp.
+	stageFPP := s.fpp * (1 - s.tighten) * math.Pow(s.tighten, float64(i))
+	f, err := New(keys, stageFPP)
+	if err != nil {
+		return err
+	}
+	s.stages = append(s.stages, f)
+	s.stageKeys = append(s.stageKeys, keys)
+	return nil
+}
+
+// Add inserts a key, opening a new stage when the current one reaches its
+// design capacity.
+func (s *ScalableFilter) Add(key []byte) error {
+	if len(s.stages) == 0 {
+		if err := s.addStage(); err != nil {
+			return err
+		}
+	}
+	last := len(s.stages) - 1
+	if s.stages[last].Count() >= s.stageKeys[last] {
+		if err := s.addStage(); err != nil {
+			return err
+		}
+		last++
+	}
+	s.stages[last].Add(key)
+	s.count++
+	return nil
+}
+
+// AddUint64 inserts a uint64 key in big-endian encoding.
+func (s *ScalableFilter) AddUint64(key uint64) error {
+	return s.Add(beUint64(key))
+}
+
+// Contains reports whether the key may be in the set; it checks every
+// stage.
+func (s *ScalableFilter) Contains(key []byte) bool {
+	for _, f := range s.stages {
+		if f.Contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsUint64 tests a uint64 key in big-endian encoding.
+func (s *ScalableFilter) ContainsUint64(key uint64) bool {
+	return s.Contains(beUint64(key))
+}
+
+// Count returns the number of keys added.
+func (s *ScalableFilter) Count() uint64 { return s.count }
+
+// Stages returns the number of underlying filters.
+func (s *ScalableFilter) Stages() int { return len(s.stages) }
+
+// SizeBytes returns the total footprint of all stages.
+func (s *ScalableFilter) SizeBytes() uint64 {
+	var total uint64
+	for _, f := range s.stages {
+		total += f.SizeBytes()
+	}
+	return total
+}
+
+// CompoundFPPBound returns the analytical upper bound on the compound
+// false positive probability across all stages.
+func (s *ScalableFilter) CompoundFPPBound() float64 {
+	var sum float64
+	for i := range s.stages {
+		sum += s.fpp * (1 - s.tighten) * math.Pow(s.tighten, float64(i))
+	}
+	return sum
+}

@@ -1,0 +1,148 @@
+package bloom
+
+import "fmt"
+
+// DeletableFilter is the deletable Bloom filter of Rothenberg et al.
+// (IEEE Comm. Letters 2010, cited as [39] by the paper's Section 7): the
+// bit array is divided into regions, and a small collision bitmap marks
+// regions where two insertions set the same bit. A bit may be safely
+// reset during deletion only if its region is collision-free, so deletes
+// never introduce false negatives; deletes of keys whose bits all landed
+// in collided regions fail gracefully (the key stays, keeping the filter
+// correct at a slightly elevated false positive probability — exactly
+// the drift Section 7 budgets for).
+type DeletableFilter struct {
+	bits      []uint64
+	nbits     uint64
+	hashes    int
+	regions   uint64
+	regionLen uint64
+	collided  []bool
+	count     uint64
+}
+
+// NewDeletable creates a deletable filter for n keys at false positive
+// probability fpp with the given number of collision regions (0 selects
+// one region per 64 bits, the granularity the original paper evaluates).
+func NewDeletable(n uint64, fpp float64, regions uint64) (*DeletableFilter, error) {
+	p, err := ParamsForKeys(n, fpp, 0)
+	if err != nil {
+		return nil, err
+	}
+	if regions == 0 {
+		regions = (p.Bits + 63) / 64
+	}
+	if regions > p.Bits {
+		regions = p.Bits
+	}
+	regionLen := (p.Bits + regions - 1) / regions
+	return &DeletableFilter{
+		bits:      make([]uint64, (p.Bits+63)/64),
+		nbits:     p.Bits,
+		hashes:    p.Hashes,
+		regions:   regions,
+		regionLen: regionLen,
+		collided:  make([]bool, regions),
+	}, nil
+}
+
+func (d *DeletableFilter) getBit(idx uint64) bool {
+	return d.bits[idx/64]&(1<<(idx%64)) != 0
+}
+
+func (d *DeletableFilter) setBit(idx uint64) {
+	d.bits[idx/64] |= 1 << (idx % 64)
+}
+
+func (d *DeletableFilter) clearBit(idx uint64) {
+	d.bits[idx/64] &^= 1 << (idx % 64)
+}
+
+func (d *DeletableFilter) region(idx uint64) uint64 {
+	return idx / d.regionLen
+}
+
+// Add inserts a key, recording collisions per region.
+func (d *DeletableFilter) Add(key []byte) {
+	h1, h2 := baseHashes(key)
+	for i := 0; i < d.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % d.nbits
+		if d.getBit(idx) {
+			d.collided[d.region(idx)] = true
+		} else {
+			d.setBit(idx)
+		}
+	}
+	d.count++
+}
+
+// AddUint64 inserts a uint64 key in big-endian encoding.
+func (d *DeletableFilter) AddUint64(key uint64) { d.Add(beUint64(key)) }
+
+// Contains reports whether the key may be in the set.
+func (d *DeletableFilter) Contains(key []byte) bool {
+	h1, h2 := baseHashes(key)
+	for i := 0; i < d.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % d.nbits
+		if !d.getBit(idx) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsUint64 tests a uint64 key in big-endian encoding.
+func (d *DeletableFilter) ContainsUint64(key uint64) bool {
+	return d.Contains(beUint64(key))
+}
+
+// Remove deletes a key by clearing its bits in collision-free regions.
+// It reports whether at least one bit could be cleared — in that case
+// the key no longer matches. When every bit sits in a collided region
+// the delete is a no-op (the key remains visible) and Remove returns
+// false; no false negatives are ever introduced for other keys.
+func (d *DeletableFilter) Remove(key []byte) (bool, error) {
+	if !d.Contains(key) {
+		return false, fmt.Errorf("%w: removing absent key", ErrInvalidParams)
+	}
+	h1, h2 := baseHashes(key)
+	cleared := false
+	for i := 0; i < d.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % d.nbits
+		if !d.collided[d.region(idx)] {
+			d.clearBit(idx)
+			cleared = true
+		}
+	}
+	if cleared && d.count > 0 {
+		d.count--
+	}
+	return cleared, nil
+}
+
+// RemoveUint64 deletes a uint64 key in big-endian encoding.
+func (d *DeletableFilter) RemoveUint64(key uint64) (bool, error) {
+	return d.Remove(beUint64(key))
+}
+
+// Count returns the net number of keys (adds minus effective removes).
+func (d *DeletableFilter) Count() uint64 { return d.count }
+
+// SizeBytes returns the footprint: bit array plus one collision bit per
+// region.
+func (d *DeletableFilter) SizeBytes() uint64 {
+	return uint64(len(d.bits))*8 + (d.regions+7)/8
+}
+
+// CollidedRegions returns how many regions are marked collided — the
+// deletability diagnostic of the original paper (fewer collided regions
+// means more keys can be deleted).
+func (d *DeletableFilter) CollidedRegions() uint64 {
+	var n uint64
+	for _, c := range d.collided {
+		if c {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuotientFilter is the quotient filter of Bender et al. ("Don't Thrash:
+// How to Cache Your Hash on Flash", cited as [7] by the paper), one of
+// the Section 7 alternatives to plain Bloom filters: it stores p-bit
+// fingerprints in 2^q buckets of r-bit remainders (p = q + r) with three
+// metadata bits per slot, and answers membership with false positive
+// probability ≈ 2^-r at moderate load. This prototype implements insert
+// and lookup; for deletable BF-leaves see CountingFilter and
+// DeletableFilter.
+//
+// Compared with a counting filter (the other deletable option), a
+// quotient filter needs r+3 bits per stored key instead of 4 bits per
+// array position, and its entries are contiguous runs — the property
+// that makes it flash-friendly in the original paper.
+type QuotientFilter struct {
+	qbits     uint // log2(buckets)
+	rbits     uint // remainder bits
+	mask      uint64
+	remainder []uint64 // r-bit remainders, one per slot
+	occupied  []bool   // canonical bucket has at least one fingerprint
+	cont      []bool   // slot continues the previous slot's run
+	shifted   []bool   // slot holds a fingerprint shifted from its bucket
+	count     uint64
+}
+
+// NewQuotient creates a quotient filter sized for n keys at false
+// positive probability fpp. Buckets are sized to keep the load factor
+// at or below 3/4, where cluster lengths stay short.
+func NewQuotient(n uint64, fpp float64) (*QuotientFilter, error) {
+	if n == 0 || fpp <= 0 || fpp >= 1 {
+		return nil, fmt.Errorf("%w: n=%d fpp=%g", ErrInvalidParams, n, fpp)
+	}
+	// Slots ≥ 4n/3, rounded to a power of two.
+	q := uint(1)
+	for (uint64(1) << q) < n*4/3+1 {
+		q++
+	}
+	// fpp ≈ load · 2^-r  →  r = ceil(log2(load/fpp)); use load=3/4.
+	r := uint(math.Ceil(math.Log2(0.75 / fpp)))
+	if r < 1 {
+		r = 1
+	}
+	if q+r > 64 {
+		return nil, fmt.Errorf("%w: fingerprint q+r=%d exceeds 64 bits", ErrInvalidParams, q+r)
+	}
+	size := uint64(1) << q
+	return &QuotientFilter{
+		qbits:     q,
+		rbits:     r,
+		mask:      size - 1,
+		remainder: make([]uint64, size),
+		occupied:  make([]bool, size),
+		cont:      make([]bool, size),
+		shifted:   make([]bool, size),
+	}, nil
+}
+
+// fingerprint maps a key to its (quotient, remainder) pair.
+func (f *QuotientFilter) fingerprint(key []byte) (uint64, uint64) {
+	h, _ := baseHashes(key)
+	fp := h & ((uint64(1) << (f.qbits + f.rbits)) - 1)
+	return fp >> f.rbits, fp & ((uint64(1) << f.rbits) - 1)
+}
+
+func (f *QuotientFilter) next(i uint64) uint64 { return (i + 1) & f.mask }
+func (f *QuotientFilter) prev(i uint64) uint64 { return (i - 1) & f.mask }
+
+// isEmptySlot reports whether slot i holds no fingerprint.
+func (f *QuotientFilter) isEmptySlot(i uint64) bool {
+	return !f.occupied[i] && !f.cont[i] && !f.shifted[i]
+}
+
+// findRunStart locates the first slot of the run belonging to bucket q,
+// which must be occupied.
+func (f *QuotientFilter) findRunStart(q uint64) uint64 {
+	// Walk left to the cluster start (first unshifted slot).
+	b := q
+	for f.shifted[b] {
+		b = f.prev(b)
+	}
+	// Walk right: count occupied buckets vs run starts to find q's run.
+	s := b
+	for b != q {
+		// Advance s to the next run start.
+		for {
+			s = f.next(s)
+			if !f.cont[s] {
+				break
+			}
+		}
+		// Advance b to the next occupied bucket.
+		for {
+			b = f.next(b)
+			if f.occupied[b] {
+				break
+			}
+		}
+	}
+	return s
+}
+
+// Contains reports whether the key may be in the set.
+func (f *QuotientFilter) Contains(key []byte) bool {
+	q, r := f.fingerprint(key)
+	if !f.occupied[q] {
+		return false
+	}
+	s := f.findRunStart(q)
+	for {
+		if f.remainder[s] == r {
+			return true
+		}
+		s = f.next(s)
+		if !f.cont[s] {
+			return false
+		}
+	}
+}
+
+// ContainsUint64 tests a uint64 key in big-endian encoding.
+func (f *QuotientFilter) ContainsUint64(key uint64) bool {
+	return f.Contains(beUint64(key))
+}
+
+// Add inserts a key. Runs are kept sorted by remainder so probes can
+// stop early. It returns an error when the filter is full; adding a
+// fingerprint already present is idempotent.
+func (f *QuotientFilter) Add(key []byte) error {
+	if f.count >= uint64(len(f.remainder))-1 {
+		return fmt.Errorf("%w: quotient filter full (%d slots)", ErrInvalidParams, len(f.remainder))
+	}
+	q, r := f.fingerprint(key)
+	if f.isEmptySlot(q) {
+		f.occupied[q] = true
+		f.remainder[q] = r
+		f.count++
+		return nil
+	}
+	wasOccupied := f.occupied[q]
+	f.occupied[q] = true
+	start := f.findRunStart(q)
+	pos := start
+	if wasOccupied {
+		// Find the sorted position within the existing run.
+		for {
+			if f.remainder[pos] == r {
+				return nil
+			}
+			if f.remainder[pos] > r {
+				break
+			}
+			np := f.next(pos)
+			if !f.cont[np] {
+				pos = np // end of run: append
+				break
+			}
+			pos = np
+		}
+	}
+	// Insert at pos, displacing the rest of the cluster one slot right.
+	curR := r
+	curCont := wasOccupied && pos != start
+	// Inserting before an existing run head demotes that head to a
+	// continuation slot when it is displaced.
+	demoteNext := wasOccupied && pos == start
+	first := true
+	i := pos
+	for {
+		if f.isEmptySlot(i) {
+			f.remainder[i] = curR
+			f.cont[i] = curCont
+			f.shifted[i] = !first || i != q
+			break
+		}
+		oldR, oldCont := f.remainder[i], f.cont[i]
+		f.remainder[i] = curR
+		f.cont[i] = curCont
+		f.shifted[i] = !first || i != q
+		curR, curCont = oldR, oldCont
+		if demoteNext {
+			curCont = true
+			demoteNext = false
+		}
+		first = false
+		i = f.next(i)
+	}
+	f.count++
+	return nil
+}
+
+// AddUint64 inserts a uint64 key in big-endian encoding.
+func (f *QuotientFilter) AddUint64(key uint64) error {
+	return f.Add(beUint64(key))
+}
+
+// Count returns the number of stored fingerprints.
+func (f *QuotientFilter) Count() uint64 { return f.count }
+
+// SizeBytes returns the footprint of a bit-packed encoding: (r+3) bits
+// per slot (this prototype stores slots unpacked for clarity; embedders
+// budget with the packed size, as the quotient filter paper does).
+func (f *QuotientFilter) SizeBytes() uint64 {
+	bits := uint64(len(f.remainder)) * uint64(f.rbits+3)
+	return (bits + 7) / 8
+}
+
+// FillRatio returns the fraction of slots in use.
+func (f *QuotientFilter) FillRatio() float64 {
+	used := 0
+	for i := range f.remainder {
+		if !f.isEmptySlot(uint64(i)) {
+			used++
+		}
+	}
+	return float64(used) / float64(len(f.remainder))
+}

@@ -1,0 +1,267 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuotientBasic(t *testing.T) {
+	f, err := NewQuotient(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if err := f.AddUint64(i); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.ContainsUint64(i) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Errorf("count = %d", f.Count())
+	}
+	if f.FillRatio() <= 0 || f.FillRatio() > 0.8 {
+		t.Errorf("fill ratio %g outside expected band", f.FillRatio())
+	}
+}
+
+func TestQuotientFPP(t *testing.T) {
+	const n = 5000
+	f, err := NewQuotient(n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := f.AddUint64(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	falsePos := 0
+	const probes = 50000
+	for i := uint64(0); i < probes; i++ {
+		if f.ContainsUint64(n + 1000 + i) {
+			falsePos++
+		}
+	}
+	measured := float64(falsePos) / probes
+	if measured > 0.02 {
+		t.Errorf("measured fpp %g exceeds 2x design 0.01", measured)
+	}
+}
+
+func TestQuotientIdempotentAdd(t *testing.T) {
+	f, err := NewQuotient(100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := f.AddUint64(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Count() != 1 {
+		t.Errorf("re-adding the same fingerprint should be idempotent, count = %d", f.Count())
+	}
+}
+
+func TestQuotientFull(t *testing.T) {
+	f, err := NewQuotient(4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addErr error
+	for i := uint64(0); i < 100 && addErr == nil; i++ {
+		addErr = f.AddUint64(i * 7919)
+	}
+	if addErr == nil {
+		t.Error("filter never reported full")
+	}
+}
+
+func TestQuotientValidation(t *testing.T) {
+	if _, err := NewQuotient(0, 0.01); err == nil {
+		t.Error("zero keys accepted")
+	}
+	if _, err := NewQuotient(10, 0); err == nil {
+		t.Error("fpp 0 accepted")
+	}
+	if _, err := NewQuotient(1<<40, 1e-30); err == nil {
+		t.Error("oversized fingerprint accepted")
+	}
+	f, _ := NewQuotient(1000, 0.01)
+	if f.SizeBytes() == 0 {
+		t.Error("size must be positive")
+	}
+}
+
+// Property: quotient filter never false-negatives under random insert
+// orders that stress cluster shifting.
+func TestQuickQuotientNoFalseNegatives(t *testing.T) {
+	prop := func(seed int64) bool {
+		f, err := NewQuotient(600, 0.02)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]uint64, 500)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+			if err := f.AddUint64(keys[i]); err != nil {
+				return false
+			}
+		}
+		for _, k := range keys {
+			if !f.ContainsUint64(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dense sequential keys (worst case for clustering) still
+// never false-negative.
+func TestQuotientDenseClusters(t *testing.T) {
+	f, err := NewQuotient(3000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		if err := f.AddUint64(i); err != nil {
+			t.Fatal(err)
+		}
+		// Verify everything so far after every 500 inserts.
+		if i%500 == 0 {
+			for j := uint64(0); j <= i; j++ {
+				if !f.ContainsUint64(j) {
+					t.Fatalf("after %d inserts, key %d lost", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDeletableBasic(t *testing.T) {
+	d, err := NewDeletable(1000, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		d.AddUint64(i)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !d.ContainsUint64(i) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestDeletableRemove(t *testing.T) {
+	// Lightly loaded filter: most regions collision-free, so most
+	// deletes succeed and removed keys stop matching.
+	d, err := NewDeletable(2000, 1e-4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		d.AddUint64(i)
+	}
+	removed := 0
+	for i := uint64(0); i < 100; i++ {
+		ok, err := d.RemoveUint64(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && !d.ContainsUint64(i) {
+			removed++
+		}
+	}
+	if removed < 80 {
+		t.Errorf("only %d of 100 deletes took effect on a light filter", removed)
+	}
+	// Surviving keys are never harmed.
+	for i := uint64(100); i < 200; i++ {
+		if !d.ContainsUint64(i) {
+			t.Fatalf("delete introduced false negative for %d", i)
+		}
+	}
+	if _, err := d.RemoveUint64(99999); err == nil {
+		t.Error("removing absent key accepted")
+	}
+}
+
+func TestDeletableCollisionsBlockDeletes(t *testing.T) {
+	// One region: every collision anywhere blocks all deletes.
+	d, err := NewDeletable(100, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		d.AddUint64(i)
+	}
+	if d.CollidedRegions() != 1 {
+		t.Fatalf("expected the single region to collide, got %d", d.CollidedRegions())
+	}
+	ok, err := d.RemoveUint64(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("delete in a fully collided filter should be a no-op")
+	}
+	if !d.ContainsUint64(5) {
+		t.Error("blocked delete must leave the key visible")
+	}
+}
+
+func TestDeletableSizeIncludesCollisionMap(t *testing.T) {
+	d, err := NewDeletable(1000, 0.01, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SizeBytes() <= plain.SizeBytes() {
+		t.Error("deletable filter must carry the collision bitmap overhead")
+	}
+}
+
+// Property: deletable filter never false-negatives for keys not removed,
+// regardless of the interleaving of adds and removes.
+func TestQuickDeletableNoCollateralDamage(t *testing.T) {
+	d, err := NewDeletable(4096, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[uint64]bool)
+	prop := func(key uint64, del bool) bool {
+		key %= 2000
+		if del && live[key] {
+			if _, err := d.RemoveUint64(key); err != nil {
+				return false
+			}
+			delete(live, key)
+		} else {
+			d.AddUint64(key)
+			live[key] = true
+		}
+		for k := range live {
+			if !d.ContainsUint64(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,405 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bftree/internal/device"
+	"bftree/internal/pagestore"
+)
+
+func memStore(pageSize int) *pagestore.Store {
+	return pagestore.New(device.New(device.Memory, pageSize))
+}
+
+func seqEntries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{Key: uint64(i), Ref: TupleRef{Page: device.PageID(i / 15), Slot: uint16(i % 15)}}
+	}
+	return out
+}
+
+func TestCapacities(t *testing.T) {
+	// 4096: leaf (4096-11)/18 = 226, internal (4096-11)/16+1 = 256.
+	if c := LeafCapacity(4096); c != 226 {
+		t.Errorf("LeafCapacity(4096) = %d, want 226", c)
+	}
+	if c := InternalCapacity(4096); c != 256 {
+		t.Errorf("InternalCapacity(4096) = %d, want 256 (Equation 2)", c)
+	}
+}
+
+func TestBulkLoadAndSearch(t *testing.T) {
+	store := memStore(4096)
+	entries := seqEntries(100000)
+	tr, err := BulkLoad(store, entries, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEntries() != 100000 {
+		t.Fatalf("entries = %d", tr.NumEntries())
+	}
+	// 100000/226 = 443 leaves, 2 internal levels → height 3.
+	if tr.Height() != 3 {
+		t.Errorf("height = %d, want 3", tr.Height())
+	}
+	for _, probe := range []uint64{0, 1, 225, 226, 4999, 99999} {
+		refs, err := tr.Search(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refs) != 1 {
+			t.Fatalf("key %d: %d refs", probe, len(refs))
+		}
+		want := entries[probe].Ref
+		if refs[0] != want {
+			t.Fatalf("key %d: ref %+v, want %+v", probe, refs[0], want)
+		}
+	}
+	// Absent keys.
+	if refs, _ := tr.Search(200000); len(refs) != 0 {
+		t.Error("absent key matched")
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	store := memStore(4096)
+	if _, err := BulkLoad(store, nil, 1.0); err == nil {
+		t.Error("empty bulk load should fail")
+	}
+	if _, err := BulkLoad(store, seqEntries(10), 0); err == nil {
+		t.Error("zero fill factor should fail")
+	}
+	if _, err := BulkLoad(store, seqEntries(10), 1.5); err == nil {
+		t.Error("fill factor > 1 should fail")
+	}
+	unsorted := []Entry{{Key: 5}, {Key: 3}}
+	if _, err := BulkLoad(store, unsorted, 1.0); err == nil {
+		t.Error("unsorted entries should fail")
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	tr, err := BulkLoad(memStore(4096), seqEntries(10), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 {
+		t.Errorf("height = %d, want 1", tr.Height())
+	}
+	refs, err := tr.Search(5)
+	if err != nil || len(refs) != 1 {
+		t.Fatal("search in single-leaf tree failed")
+	}
+	pages, err := tr.InternalPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 0 {
+		t.Error("single-leaf tree has no internal pages")
+	}
+}
+
+func TestDuplicateKeysAcrossLeaves(t *testing.T) {
+	// One key repeated more than a leaf's capacity forces duplicates to
+	// spill across leaves; Search must chase the next pointers.
+	var entries []Entry
+	for i := 0; i < 500; i++ {
+		entries = append(entries, Entry{Key: 7, Ref: TupleRef{Page: device.PageID(i), Slot: 0}})
+	}
+	for i := 0; i < 100; i++ {
+		entries = append(entries, Entry{Key: 9 + uint64(i), Ref: TupleRef{Page: 1000, Slot: uint16(i)}})
+	}
+	tr, err := BulkLoad(memStore(4096), entries, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := tr.Search(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 500 {
+		t.Fatalf("duplicate search found %d of 500", len(refs))
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr, err := BulkLoad(memStore(4096), seqEntries(10000), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := tr.RangeScan(100, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 100 {
+		t.Fatalf("range scan returned %d, want 100", len(refs))
+	}
+	// Range past the end.
+	refs, err = tr.RangeScan(9990, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 10 {
+		t.Fatalf("tail range returned %d, want 10", len(refs))
+	}
+	// Empty range between keys.
+	if _, err := tr.RangeScan(10, 5); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestFillFactor(t *testing.T) {
+	full, err := BulkLoad(memStore(4096), seqEntries(10000), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := BulkLoad(memStore(4096), seqEntries(10000), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.NumLeaves() <= full.NumLeaves() {
+		t.Errorf("half-full tree should have more leaves: %d vs %d", half.NumLeaves(), full.NumLeaves())
+	}
+}
+
+func TestInsertIntoBulkLoaded(t *testing.T) {
+	store := memStore(4096)
+	// Even keys bulk-loaded, odd keys inserted.
+	var entries []Entry
+	for i := 0; i < 20000; i += 2 {
+		entries = append(entries, Entry{Key: uint64(i), Ref: TupleRef{Page: device.PageID(i), Slot: 1}})
+	}
+	tr, err := BulkLoad(store, entries, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 20000; i += 2 {
+		if err := tr.Insert(Entry{Key: uint64(i), Ref: TupleRef{Page: device.PageID(i), Slot: 2}}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.NumEntries() != 20000 {
+		t.Fatalf("entries = %d", tr.NumEntries())
+	}
+	for i := 0; i < 20000; i++ {
+		refs, err := tr.Search(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refs) != 1 {
+			t.Fatalf("key %d: %d refs", i, len(refs))
+		}
+		wantSlot := uint16(1 + i%2)
+		if refs[0].Slot != wantSlot {
+			t.Fatalf("key %d: slot %d, want %d", i, refs[0].Slot, wantSlot)
+		}
+	}
+}
+
+func TestInsertGrowsFromSingleLeaf(t *testing.T) {
+	store := memStore(512) // tiny pages force early splits
+	tr, err := BulkLoad(store, seqEntries(5), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	inserted := map[uint64]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(100000))
+		for inserted[k] {
+			k++
+		}
+		inserted[k] = true
+		if err := tr.Insert(Entry{Key: k, Ref: TupleRef{Page: device.PageID(k), Slot: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Errorf("tree should have grown, height = %d", tr.Height())
+	}
+	for k := range inserted {
+		refs, err := tr.Search(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refs) != 1 {
+			t.Fatalf("key %d lost after splits: %d refs", k, len(refs))
+		}
+	}
+	// Keys() must yield everything in order.
+	var keys []uint64
+	tr.Keys(func(e Entry) bool {
+		keys = append(keys, e.Key)
+		return true
+	})
+	if len(keys) != len(inserted) {
+		t.Fatalf("Keys yielded %d, want %d", len(keys), len(inserted))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Error("leaf chain out of order after splits")
+	}
+}
+
+func TestKeysEarlyStop(t *testing.T) {
+	tr, err := BulkLoad(memStore(4096), seqEntries(1000), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	tr.Keys(func(Entry) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop at %d, want 7", count)
+	}
+}
+
+func TestInternalPagesForWarming(t *testing.T) {
+	tr, err := BulkLoad(memStore(4096), seqEntries(100000), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := tr.InternalPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInternal := tr.NumNodes() - tr.NumLeaves()
+	if uint64(len(pages)) != wantInternal {
+		t.Errorf("internal pages = %d, want %d", len(pages), wantInternal)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	tr, err := BulkLoad(memStore(4096), seqEntries(100000), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SizeBytes() != tr.NumNodes()*4096 {
+		t.Error("SizeBytes mismatch")
+	}
+	// Compressed estimate must be much smaller for wide keys: the paper's
+	// Figure 4(b) shows ≈10 % for 32-byte keys.
+	comp := tr.CompressedSizeBytes(32, 8, 2)
+	full := tr.NumEntries() * (32 + 8) // notional uncompressed leaf bytes
+	if comp >= full {
+		t.Errorf("compressed size %d should undercut uncompressed %d", comp, full)
+	}
+}
+
+func TestNodeRoundTrip(t *testing.T) {
+	buf := make([]byte, 4096)
+	leaf := &leafNode{
+		next:    77,
+		entries: []Entry{{Key: 1, Ref: TupleRef{Page: 2, Slot: 3}}, {Key: 9, Ref: TupleRef{Page: 8, Slot: 7}}},
+	}
+	if err := encodeLeaf(buf, leaf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeLeaf(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.next != 77 || len(back.entries) != 2 || back.entries[1].Ref.Page != 8 {
+		t.Errorf("leaf round trip: %+v", back)
+	}
+	in := &internalNode{keys: []uint64{10, 20}, children: []device.PageID{1, 2, 3}}
+	if err := encodeInternal(buf, in); err != nil {
+		t.Fatal(err)
+	}
+	backIn, err := decodeInternal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backIn.keys) != 2 || backIn.children[2] != 3 {
+		t.Errorf("internal round trip: %+v", backIn)
+	}
+}
+
+func TestNodeCorruption(t *testing.T) {
+	buf := make([]byte, 64)
+	if _, err := decodeLeaf(buf); err == nil {
+		t.Error("zero page should not decode as leaf")
+	}
+	if _, err := decodeInternal(buf); err == nil {
+		t.Error("zero page should not decode as internal")
+	}
+	if _, err := nodeKind(buf); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := nodeKind(buf[:1]); err == nil {
+		t.Error("short page should fail")
+	}
+	// Mismatched children count.
+	bad := &internalNode{keys: []uint64{1}, children: []device.PageID{1}}
+	if err := encodeInternal(buf, bad); err == nil {
+		t.Error("internal node with wrong child count should fail to encode")
+	}
+	// Overflow.
+	huge := &leafNode{entries: make([]Entry, 1000)}
+	if err := encodeLeaf(buf, huge); err == nil {
+		t.Error("oversized leaf should fail to encode")
+	}
+}
+
+// Property: bulk load + search agree with a map for random multisets.
+func TestQuickSearchMatchesReference(t *testing.T) {
+	prop := func(rawKeys []uint16) bool {
+		if len(rawKeys) == 0 {
+			return true
+		}
+		entries := make([]Entry, len(rawKeys))
+		counts := make(map[uint64]int)
+		for i, rk := range rawKeys {
+			k := uint64(rk % 500)
+			entries[i] = Entry{Key: k, Ref: TupleRef{Page: device.PageID(i), Slot: 0}}
+			counts[k]++
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+		tr, err := BulkLoad(memStore(512), entries, 1.0)
+		if err != nil {
+			return false
+		}
+		for k, want := range counts {
+			refs, err := tr.Search(k)
+			if err != nil || len(refs) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: range scans agree with filtering the sorted entry list.
+func TestQuickRangeScanMatchesReference(t *testing.T) {
+	entries := seqEntries(3000)
+	tr, err := BulkLoad(memStore(1024), entries, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b uint16) bool {
+		lo, hi := uint64(a%3500), uint64(b%3500)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		refs, err := tr.RangeScan(lo, hi)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for k := lo; k <= hi && k < 3000; k++ {
+			want++
+		}
+		return len(refs) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

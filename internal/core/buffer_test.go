@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"bftree/internal/device"
+	"bftree/internal/pagestore"
+)
+
+func TestBufferedInsertMatchesDirect(t *testing.T) {
+	// Two identical trees over the same data: one takes direct inserts,
+	// one buffered. After flush, both must answer identically.
+	f, _ := buildInitialFile(t, 4000)
+	direct, err := BulkLoad(pagestore.New(device.New(device.Memory, 4096)), f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered, err := BulkLoad(pagestore.New(device.New(device.Memory, 4096)), f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := buffered.NewBufferedInserter(64)
+
+	// Re-insert a spread of existing keys (update workload).
+	for k := uint64(0); k < 4000; k += 3 {
+		pid := f.PageOf(k)
+		if err := direct.Insert(k, pid); err != nil {
+			t.Fatal(err)
+		}
+		if err := buf.Insert(k, pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := buf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 4000; k += 97 {
+		a, err := direct.SearchFirst(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := buffered.SearchFirst(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Tuples) != len(c.Tuples) {
+			t.Fatalf("key %d: direct %d vs buffered %d", k, len(a.Tuples), len(c.Tuples))
+		}
+	}
+	if direct.EffectiveFPP() != buffered.EffectiveFPP() {
+		t.Errorf("drift accounting diverged: %g vs %g", direct.EffectiveFPP(), buffered.EffectiveFPP())
+	}
+}
+
+func TestBufferedInsertAmortizesWrites(t *testing.T) {
+	f, _ := buildInitialFile(t, 4000)
+	dev := device.New(device.Memory, 4096)
+	tr, err := BulkLoad(pagestore.New(dev), f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	dev.ResetStats()
+	for k := uint64(0); k < n; k++ {
+		if err := tr.Insert(k, f.PageOf(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	directWrites := dev.Stats().Writes()
+
+	tr2, err := BulkLoad(pagestore.New(dev), f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := tr2.NewBufferedInserter(n + 1)
+	dev.ResetStats()
+	for k := uint64(0); k < n; k++ {
+		if err := buf.Insert(k, f.PageOf(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := buf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bufferedWrites := dev.Stats().Writes()
+	if bufferedWrites*10 > directWrites {
+		t.Errorf("buffered flush wrote %d pages vs %d direct; expected >=10x amortization",
+			bufferedWrites, directWrites)
+	}
+}
+
+func TestBufferedSearchSeesPending(t *testing.T) {
+	f, _ := buildInitialFile(t, 2000)
+	tr, err := BulkLoad(pagestore.New(device.New(device.Memory, 4096)), f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := tr.NewBufferedInserter(1 << 20) // never auto-flush
+	key := uint64(555)
+	if err := buf.Insert(key, f.PageOf(key)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Pending() != 1 {
+		t.Fatalf("pending = %d", buf.Pending())
+	}
+	res, err := buf.Search(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) == 0 {
+		t.Error("buffered key invisible through the inserter")
+	}
+}
+
+func TestBufferedAutoFlush(t *testing.T) {
+	f, _ := buildInitialFile(t, 2000)
+	tr, err := BulkLoad(pagestore.New(device.New(device.Memory, 4096)), f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := tr.NewBufferedInserter(8)
+	for k := uint64(0); k < 20; k++ {
+		if err := buf.Insert(k, f.PageOf(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Pending() >= 8 {
+		t.Errorf("auto-flush did not run, pending = %d", buf.Pending())
+	}
+	// Zero capacity defaults sanely.
+	b2 := tr.NewBufferedInserter(0)
+	if b2.capacity < 1 {
+		t.Error("capacity default broken")
+	}
+	// Flushing an empty buffer is a no-op.
+	if err := b2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bftree/internal/device"
+)
+
+// splitEnumLimit caps the key-domain enumeration of the probe-based
+// Algorithm 2 split. Wider leaf key ranges fall back to rebuilding the
+// leaf from its data pages, which is exact and bounded by the leaf's page
+// count (the paper notes enumeration is impractical for very-high-
+// cardinality domains, Section 7).
+const splitEnumLimit = 1 << 20
+
+// frame is one step of a root-to-leaf descent, kept for split
+// propagation.
+type frame struct {
+	pid  device.PageID
+	node *internalNode
+	slot int
+}
+
+// descendPath walks to the leaf for key, recording the internal path.
+// Searches use leftmost routing (key <= separator goes left, because
+// duplicates may trail in the left leaf); inserts use rightmost routing
+// (key == separator goes right, because a separator is the right leaf's
+// min key, so new tuples for it live in the right leaf's page range).
+func (t *Tree) descendPath(key uint64, forInsert bool) (*bfLeaf, device.PageID, []frame, error) {
+	var path []frame
+	pid := t.root
+	for {
+		buf, err := t.store.ReadPage(pid)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		kind, err := nodeKind(buf)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if kind == nodeBFLeaf {
+			l, err := decodeBFLeaf(buf)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			return l, pid, path, nil
+		}
+		n, err := decodeInternal(buf)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		var i int
+		if forInsert {
+			i = sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		} else {
+			i = sort.Search(len(n.keys), func(i int) bool { return key <= n.keys[i] })
+		}
+		path = append(path, frame{pid: pid, node: n, slot: i})
+		pid = n.children[i]
+	}
+}
+
+// writeLeaf serializes and writes a leaf.
+func (t *Tree) writeLeaf(pid device.PageID, l *bfLeaf) error {
+	buf := make([]byte, t.store.PageSize())
+	if err := encodeBFLeaf(buf, l); err != nil {
+		return err
+	}
+	return t.store.WritePage(pid, buf)
+}
+
+// Insert implements Algorithm 3: route to the BF-leaf for key, split if
+// the leaf is at its key capacity, then update the key range, the key
+// count and the Bloom filter of the data page holding the tuple. The
+// data page pid must fall inside the leaf's page range, or extend the
+// file's tail (appends), mirroring the paper's assumption that data stays
+// ordered or partitioned on the indexed attribute.
+func (t *Tree) Insert(key uint64, pid device.PageID) error {
+	leaf, leafPid, path, err := t.descendPath(key, true)
+	if err != nil {
+		return err
+	}
+
+	// Appends past the last covered page open a fresh leaf.
+	if pid > leaf.maxPid {
+		if leaf.next != device.InvalidPage {
+			return fmt.Errorf("%w: page %d beyond leaf range [%d,%d] of a non-tail leaf",
+				ErrKeyRange, pid, leaf.minPid, leaf.maxPid)
+		}
+		return t.appendLeaf(key, pid, leaf, leafPid, path)
+	}
+	if pid < leaf.minPid {
+		return fmt.Errorf("%w: page %d before leaf range [%d,%d]; data must stay ordered",
+			ErrKeyRange, pid, leaf.minPid, leaf.maxPid)
+	}
+
+	// Capacity check guards the design fpp (Equation 1): a leaf indexes
+	// at most KeysPerLeaf distinct keys.
+	if uint64(leaf.numKeys)+1 > t.geo.KeysPerLeaf {
+		if err := t.splitLeaf(leaf, leafPid, path); err != nil {
+			return err
+		}
+		// Re-descend: the key now routes to one of the halves.
+		return t.Insert(key, pid)
+	}
+
+	isNew := !leaf.probeOne(leaf.bfIndexOf(pid), key)
+	if err := leaf.addKey(key, pid); err != nil {
+		return err
+	}
+	if key < leaf.minKey {
+		leaf.minKey = key
+	}
+	if key > leaf.maxKey {
+		leaf.maxKey = key
+	}
+	if isNew {
+		leaf.numKeys++
+		t.inserts++
+	}
+	return t.writeLeaf(leafPid, leaf)
+}
+
+// Delete removes one key→page association. Counting-filter leaves
+// delete physically (Section 7's deletable-filter alternative); standard
+// leaves only record the delete, which degrades the effective fpp by the
+// additive term of Section 7 until the leaf is rebuilt.
+func (t *Tree) Delete(key uint64, pid device.PageID) error {
+	leaf, leafPid, _, err := t.descendPath(key, true)
+	if err != nil {
+		return err
+	}
+	for key > leaf.maxKey && leaf.next != device.InvalidPage {
+		var stats ProbeStats
+		nl, err := t.readLeaf(leaf.next, &stats)
+		if err != nil {
+			return err
+		}
+		if key < nl.minKey {
+			break
+		}
+		leafPid = leaf.next
+		leaf = nl
+	}
+	if t.opts.Filter != CountingFilter {
+		t.deletes++
+		return nil
+	}
+	if err := leaf.removeKey(key, pid); err != nil {
+		return err
+	}
+	if leaf.numKeys > 0 {
+		leaf.numKeys--
+	}
+	t.deletes++
+	return t.writeLeaf(leafPid, leaf)
+}
+
+// appendLeaf grows the tree at its right edge: a new leaf covering the
+// page range starting at pid, pre-sized to the maximum filter count so
+// later appends land in it without resizing.
+func (t *Tree) appendLeaf(key uint64, pid device.PageID, lastLeaf *bfLeaf, lastPid device.PageID, path []frame) error {
+	maxS := maxFiltersPerLeaf(t.geo)
+	posPerBF := t.geo.positionsFor(maxS, t.opts.Filter)
+	span := device.PageID(maxS*t.opts.Granularity) - 1
+	o := t.opts
+	o.Hashes = hashesFor(t.opts.Hashes, posPerBF, t.geo.KeysPerLeaf, maxS)
+	nl := newBFLeaf(pid, pid+span, o, posPerBF, maxS)
+	if err := nl.addKey(key, pid); err != nil {
+		return err
+	}
+	nl.minKey = key
+	nl.maxKey = key
+	nl.numKeys = 1
+	newPid := t.store.Allocate(1)
+	nl.next = lastLeaf.next // InvalidPage: this is the new tail
+	if err := t.writeLeaf(newPid, nl); err != nil {
+		return err
+	}
+	lastLeaf.next = newPid
+	if err := t.writeLeaf(lastPid, lastLeaf); err != nil {
+		return err
+	}
+	t.numLeaves++
+	t.numNodes++
+	t.numKeys++
+	t.inserts++
+	return t.insertIntoParents(path, key, newPid)
+}
+
+// splitLeaf implements Algorithm 2: divide the leaf's key range at its
+// midpoint, discover each half's page range by probing the old filters
+// for every key in the domain (parallelized across workers when the
+// option is set), and build two fresh leaves from the probe results.
+// False positives of the old filters carry into the new ones, which is
+// exactly the accuracy contract of the paper. Leaves whose key span
+// exceeds splitEnumLimit are rebuilt exactly from their data pages
+// instead.
+func (t *Tree) splitLeaf(leaf *bfLeaf, leafPid device.PageID, path []frame) error {
+	var left, right *bfLeaf
+	var err error
+	if leaf.maxKey-leaf.minKey+1 > splitEnumLimit {
+		left, right, err = t.splitByRebuild(leaf)
+	} else {
+		left, right, err = t.splitByProbe(leaf)
+	}
+	if err != nil {
+		return err
+	}
+
+	rightPid := t.store.Allocate(1)
+	right.next = leaf.next
+	left.next = rightPid
+	if err := t.writeLeaf(leafPid, left); err != nil {
+		return err
+	}
+	if err := t.writeLeaf(rightPid, right); err != nil {
+		return err
+	}
+	t.numLeaves++
+	t.numNodes++
+	return t.insertIntoParents(path, right.minKey, rightPid)
+}
+
+// keyPages maps a surviving key to the page groups it matched.
+type keyPages struct {
+	key  uint64
+	bids []int
+}
+
+// splitByProbe enumerates [minKey, maxKey], probing the old leaf for
+// every key (Algorithm 2 lines 7-17), then packs the halves.
+func (t *Tree) splitByProbe(leaf *bfLeaf) (*bfLeaf, *bfLeaf, error) {
+	span := leaf.maxKey - leaf.minKey + 1
+	results := make([][]int, span)
+	probeRange := func(lo, hi uint64) {
+		for k := lo; k < hi; k++ {
+			m := leaf.probe(leaf.minKey+k, false)
+			if len(m) > 0 {
+				results[k] = m
+			}
+		}
+	}
+	if t.opts.ParallelProbe && span >= 1024 {
+		const workers = 8
+		var wg sync.WaitGroup
+		chunk := (span + workers - 1) / workers
+		for w := uint64(0); w < workers; w++ {
+			lo := w * chunk
+			if lo >= span {
+				break
+			}
+			hi := lo + chunk
+			if hi > span {
+				hi = span
+			}
+			wg.Add(1)
+			go func(lo, hi uint64) {
+				defer wg.Done()
+				probeRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		probeRange(0, span)
+	}
+
+	midKey := leaf.minKey + (leaf.maxKey-leaf.minKey)/2
+	var lowKeys, highKeys []keyPages
+	for off, bids := range results {
+		if bids == nil {
+			continue
+		}
+		k := leaf.minKey + uint64(off)
+		if k <= midKey {
+			lowKeys = append(lowKeys, keyPages{key: k, bids: bids})
+		} else {
+			highKeys = append(highKeys, keyPages{key: k, bids: bids})
+		}
+	}
+	return t.packHalves(leaf, lowKeys, highKeys)
+}
+
+// splitByRebuild reads the leaf's data pages and rebuilds both halves
+// exactly. Used when the key domain is too wide to enumerate.
+func (t *Tree) splitByRebuild(leaf *bfLeaf) (*bfLeaf, *bfLeaf, error) {
+	midKey := leaf.minKey + (leaf.maxKey-leaf.minKey)/2
+	last := t.lastDataPage()
+	hi := leaf.maxPid
+	if hi > last {
+		hi = last
+	}
+	var lowKeys, highKeys []keyPages
+	seenLow := make(map[uint64]int)  // key → index in lowKeys
+	seenHigh := make(map[uint64]int) // key → index in highKeys
+	for pid := leaf.minPid; pid <= hi; pid++ {
+		tuples, err := t.file.ReadPageTuples(pid)
+		if err != nil {
+			return nil, nil, err
+		}
+		bid := leaf.bfIndexOf(pid)
+		for _, tup := range tuples {
+			k := t.file.Schema().Get(tup, t.fieldIdx)
+			if k < leaf.minKey || k > leaf.maxKey {
+				continue
+			}
+			var seen map[uint64]int
+			var list *[]keyPages
+			if k <= midKey {
+				seen, list = seenLow, &lowKeys
+			} else {
+				seen, list = seenHigh, &highKeys
+			}
+			i, ok := seen[k]
+			if !ok {
+				*list = append(*list, keyPages{key: k})
+				i = len(*list) - 1
+				seen[k] = i
+			}
+			kp := &(*list)[i]
+			if len(kp.bids) == 0 || kp.bids[len(kp.bids)-1] != bid {
+				kp.bids = append(kp.bids, bid)
+			}
+		}
+	}
+	return t.packHalves(leaf, lowKeys, highKeys)
+}
+
+// packHalves builds the two post-split leaves from per-key page-group
+// assignments (Algorithm 2 lines 18-29). The left half covers
+// [leaf.minPid, max page of low keys]; the right half covers [min page of
+// high keys, leaf.maxPid]; with a key straddling the boundary the two
+// ranges may overlap by one page group, as in the paper.
+func (t *Tree) packHalves(leaf *bfLeaf, lowKeys, highKeys []keyPages) (*bfLeaf, *bfLeaf, error) {
+	if len(lowKeys) == 0 || len(highKeys) == 0 {
+		return nil, nil, fmt.Errorf("%w: cannot split leaf [%d,%d]: one half is empty",
+			ErrOptions, leaf.minKey, leaf.maxKey)
+	}
+	leftMax := 0
+	for _, kp := range lowKeys {
+		if b := kp.bids[len(kp.bids)-1]; b > leftMax {
+			leftMax = b
+		}
+	}
+	rightMin := leaf.numBFs() - 1
+	for _, kp := range highKeys {
+		if b := kp.bids[0]; b < rightMin {
+			rightMin = b
+		}
+	}
+	g := device.PageID(leaf.granularity)
+	leftLo := leaf.minPid
+	leftHi := leaf.minPid + device.PageID(leftMax+1)*g - 1
+	if leftHi > leaf.maxPid {
+		leftHi = leaf.maxPid
+	}
+	rightLo := leaf.minPid + device.PageID(rightMin)*g
+	rightHi := leaf.maxPid
+
+	build := func(lo, hi device.PageID, keys []keyPages) (*bfLeaf, error) {
+		pages := int(hi-lo) + 1
+		g, s := leafShape(pages, t.opts.Granularity, maxFiltersPerLeaf(t.geo))
+		o := t.opts
+		o.Granularity = g
+		posPerBF := t.geo.positionsFor(s, t.opts.Filter)
+		o.Hashes = hashesFor(t.opts.Hashes, posPerBF, t.geo.KeysPerLeaf, s)
+		nl := newBFLeaf(lo, hi, o, posPerBF, s)
+		for _, kp := range keys {
+			for _, oldBid := range kp.bids {
+				plo, phi := leaf.pageRangeOf(oldBid)
+				if plo < lo {
+					plo = lo
+				}
+				if phi > hi {
+					phi = hi
+				}
+				for p := plo; p <= phi; p++ {
+					if err := nl.addKey(kp.key, p); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if kp.key < nl.minKey {
+				nl.minKey = kp.key
+			}
+			if kp.key > nl.maxKey {
+				nl.maxKey = kp.key
+			}
+			nl.numKeys++
+		}
+		return nl, nil
+	}
+	left, err := build(leftLo, leftHi, lowKeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err := build(rightLo, rightHi, highKeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+// insertIntoParents adds a separator and new right child along the
+// descent path, splitting internal nodes as needed and growing a new
+// root when the split reaches the top.
+func (t *Tree) insertIntoParents(path []frame, sepKey uint64, newChild device.PageID) error {
+	buf := make([]byte, t.store.PageSize())
+	capacity := internalCapacity(t.store.PageSize())
+	for level := len(path) - 1; level >= 0; level-- {
+		f := path[level]
+		n := f.node
+		n.keys = append(n.keys, 0)
+		copy(n.keys[f.slot+1:], n.keys[f.slot:])
+		n.keys[f.slot] = sepKey
+		n.children = append(n.children, 0)
+		copy(n.children[f.slot+2:], n.children[f.slot+1:])
+		n.children[f.slot+1] = newChild
+		if len(n.children) <= capacity {
+			if err := encodeInternal(buf, n); err != nil {
+				return err
+			}
+			return t.store.WritePage(f.pid, buf)
+		}
+		mid := len(n.keys) / 2
+		upKey := n.keys[mid]
+		right := &internalNode{
+			keys:     append([]uint64(nil), n.keys[mid+1:]...),
+			children: append([]device.PageID(nil), n.children[mid+1:]...),
+		}
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+		rightPid := t.store.Allocate(1)
+		if err := encodeInternal(buf, n); err != nil {
+			return err
+		}
+		if err := t.store.WritePage(f.pid, buf); err != nil {
+			return err
+		}
+		if err := encodeInternal(buf, right); err != nil {
+			return err
+		}
+		if err := t.store.WritePage(rightPid, buf); err != nil {
+			return err
+		}
+		t.numNodes++
+		sepKey = upKey
+		newChild = rightPid
+	}
+	// Root split (or first split of a single-leaf tree).
+	oldRoot := t.root
+	newRoot := &internalNode{keys: []uint64{sepKey}, children: []device.PageID{oldRoot, newChild}}
+	rootPid := t.store.Allocate(1)
+	if err := encodeInternal(buf, newRoot); err != nil {
+		return err
+	}
+	if err := t.store.WritePage(rootPid, buf); err != nil {
+		return err
+	}
+	t.root = rootPid
+	t.height++
+	t.numNodes++
+	return nil
+}

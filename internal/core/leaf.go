@@ -1,0 +1,309 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"bftree/internal/bloom"
+	"bftree/internal/device"
+)
+
+// Node kinds on disk. Internal nodes share the B+-Tree layout; BF-leaves
+// are specific to this package.
+const (
+	nodeInternal = byte(2)
+	nodeBFLeaf   = byte(3)
+)
+
+// Serialized BF-leaf layout (little-endian):
+//
+//	byte 0      kind (3)
+//	bytes 1-2   S, the number of Bloom filters (uint16)
+//	bytes 3-10  min pid
+//	bytes 11-18 max pid
+//	bytes 19-26 min key
+//	bytes 27-34 max key
+//	bytes 35-38 #keys (uint32)
+//	bytes 39-46 next-leaf pid
+//	byte 47     hash-function count
+//	byte 48     filter kind
+//	bytes 49-50 granularity (uint16, data pages per filter)
+//	bytes 51-54 positions per filter (uint32)
+//	bytes 55+   S packed filter arrays
+const leafHeaderSize = 55
+
+// bfLeaf is the in-memory form of a BF-leaf (Section 4.1): a page range,
+// a key range, the indexed-key count that guards the fpp, the next-leaf
+// pointer for range scans, and S Bloom filters each covering granularity
+// consecutive data pages.
+type bfLeaf struct {
+	minPid, maxPid device.PageID
+	minKey, maxKey uint64
+	numKeys        uint32
+	next           device.PageID
+	hashes         int
+	kind           FilterKind
+	granularity    int
+	posPerBF       uint64
+
+	std []*bloom.Filter         // kind == StandardFilter
+	cnt []*bloom.CountingFilter // kind == CountingFilter
+}
+
+// numBFs returns S.
+func (l *bfLeaf) numBFs() int {
+	if l.kind == CountingFilter {
+		return len(l.cnt)
+	}
+	return len(l.std)
+}
+
+// numPages returns the number of data pages the leaf covers.
+func (l *bfLeaf) numPages() int {
+	return int(l.maxPid-l.minPid) + 1
+}
+
+// bfIndexOf maps a data page to the filter covering it.
+func (l *bfLeaf) bfIndexOf(pid device.PageID) int {
+	return int(pid-l.minPid) / l.granularity
+}
+
+// pageRangeOf returns the data pages covered by filter bid.
+func (l *bfLeaf) pageRangeOf(bid int) (lo, hi device.PageID) {
+	lo = l.minPid + device.PageID(bid*l.granularity)
+	hi = lo + device.PageID(l.granularity) - 1
+	if hi > l.maxPid {
+		hi = l.maxPid
+	}
+	return lo, hi
+}
+
+// addKey inserts key into the filter covering data page pid.
+func (l *bfLeaf) addKey(key uint64, pid device.PageID) error {
+	if pid < l.minPid || pid > l.maxPid {
+		return fmt.Errorf("%w: pid %d outside [%d,%d]", ErrKeyRange, pid, l.minPid, l.maxPid)
+	}
+	bid := l.bfIndexOf(pid)
+	if l.kind == CountingFilter {
+		l.cnt[bid].AddUint64(key)
+	} else {
+		l.std[bid].AddUint64(key)
+	}
+	return nil
+}
+
+// removeKey deletes key from the filter covering pid; only counting
+// leaves support this.
+func (l *bfLeaf) removeKey(key uint64, pid device.PageID) error {
+	if l.kind != CountingFilter {
+		return fmt.Errorf("%w: standard filters cannot delete", ErrOptions)
+	}
+	if pid < l.minPid || pid > l.maxPid {
+		return fmt.Errorf("%w: pid %d outside [%d,%d]", ErrKeyRange, pid, l.minPid, l.maxPid)
+	}
+	return l.cnt[l.bfIndexOf(pid)].RemoveUint64(key)
+}
+
+// probeOne tests a single filter.
+func (l *bfLeaf) probeOne(bid int, key uint64) bool {
+	if l.kind == CountingFilter {
+		return l.cnt[bid].ContainsUint64(key)
+	}
+	return l.std[bid].ContainsUint64(key)
+}
+
+// probe tests every filter for key and returns the matching filter
+// indices in ascending order — the candidate page groups of Algorithm 1.
+// When parallel is true the probes fan out over goroutines (the Section 8
+// optimization for leaves with hundreds of filters).
+func (l *bfLeaf) probe(key uint64, parallel bool) []int {
+	s := l.numBFs()
+	if !parallel || s < 16 {
+		var out []int
+		for bid := 0; bid < s; bid++ {
+			if l.probeOne(bid, key) {
+				out = append(out, bid)
+			}
+		}
+		return out
+	}
+	const workers = 8
+	matched := make([]bool, s)
+	var wg sync.WaitGroup
+	chunk := (s + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= s {
+			break
+		}
+		hi := lo + chunk
+		if hi > s {
+			hi = s
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for bid := lo; bid < hi; bid++ {
+				if l.probeOne(bid, key) {
+					matched[bid] = true
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	var out []int
+	for bid, m := range matched {
+		if m {
+			out = append(out, bid)
+		}
+	}
+	return out
+}
+
+// filterBytes returns the serialized size of one filter.
+func filterBytes(kind FilterKind, positions uint64) int {
+	if kind == CountingFilter {
+		return int((positions + 1) / 2) // 4-bit counters
+	}
+	return int((positions + 7) / 8)
+}
+
+// newBFLeaf constructs an empty leaf covering [minPid, maxPid] with S
+// filters of posPerBF positions each.
+func newBFLeaf(minPid, maxPid device.PageID, o Options, posPerBF uint64, s int) *bfLeaf {
+	l := &bfLeaf{
+		minPid:      minPid,
+		maxPid:      maxPid,
+		minKey:      ^uint64(0),
+		maxKey:      0,
+		next:        device.InvalidPage,
+		hashes:      o.Hashes,
+		kind:        o.Filter,
+		granularity: o.Granularity,
+		posPerBF:    posPerBF,
+	}
+	if o.Filter == CountingFilter {
+		l.cnt = make([]*bloom.CountingFilter, s)
+		for i := range l.cnt {
+			l.cnt[i] = bloom.NewCountingWithParams(bloom.Params{Bits: posPerBF, Hashes: o.Hashes})
+		}
+	} else {
+		l.std = make([]*bloom.Filter, s)
+		for i := range l.std {
+			l.std[i] = bloom.NewWithParams(bloom.Params{Bits: posPerBF, Hashes: o.Hashes})
+		}
+	}
+	return l
+}
+
+// encodeBFLeaf serializes the leaf into a page buffer.
+func encodeBFLeaf(buf []byte, l *bfLeaf) error {
+	s := l.numBFs()
+	need := leafHeaderSize + s*filterBytes(l.kind, l.posPerBF)
+	if need > len(buf) {
+		return fmt.Errorf("%w: BF-leaf needs %d bytes > page %d", ErrCorrupt, need, len(buf))
+	}
+	if s > 0xffff {
+		return fmt.Errorf("%w: %d filters exceed uint16", ErrCorrupt, s)
+	}
+	buf[0] = nodeBFLeaf
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(s))
+	binary.LittleEndian.PutUint64(buf[3:11], uint64(l.minPid))
+	binary.LittleEndian.PutUint64(buf[11:19], uint64(l.maxPid))
+	binary.LittleEndian.PutUint64(buf[19:27], l.minKey)
+	binary.LittleEndian.PutUint64(buf[27:35], l.maxKey)
+	binary.LittleEndian.PutUint32(buf[35:39], l.numKeys)
+	binary.LittleEndian.PutUint64(buf[39:47], uint64(l.next))
+	buf[47] = byte(l.hashes)
+	buf[48] = byte(l.kind)
+	binary.LittleEndian.PutUint16(buf[49:51], uint16(l.granularity))
+	binary.LittleEndian.PutUint32(buf[51:55], uint32(l.posPerBF))
+	off := leafHeaderSize
+	fb := filterBytes(l.kind, l.posPerBF)
+	for i := 0; i < s; i++ {
+		if l.kind == CountingFilter {
+			copy(buf[off:off+fb], l.cnt[i].Raw())
+		} else {
+			words := l.std[i].Words()
+			for j, w := range words {
+				if off+j*8+8 <= off+fb {
+					binary.LittleEndian.PutUint64(buf[off+j*8:], w)
+				} else {
+					// Trailing partial word.
+					var tmp [8]byte
+					binary.LittleEndian.PutUint64(tmp[:], w)
+					copy(buf[off+j*8:off+fb], tmp[:])
+				}
+			}
+		}
+		off += fb
+	}
+	for i := off; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// decodeBFLeaf deserializes a BF-leaf from a page buffer.
+func decodeBFLeaf(buf []byte) (*bfLeaf, error) {
+	if len(buf) < leafHeaderSize || buf[0] != nodeBFLeaf {
+		return nil, fmt.Errorf("%w: not a BF-leaf", ErrCorrupt)
+	}
+	s := int(binary.LittleEndian.Uint16(buf[1:3]))
+	l := &bfLeaf{
+		minPid:      device.PageID(binary.LittleEndian.Uint64(buf[3:11])),
+		maxPid:      device.PageID(binary.LittleEndian.Uint64(buf[11:19])),
+		minKey:      binary.LittleEndian.Uint64(buf[19:27]),
+		maxKey:      binary.LittleEndian.Uint64(buf[27:35]),
+		numKeys:     binary.LittleEndian.Uint32(buf[35:39]),
+		next:        device.PageID(binary.LittleEndian.Uint64(buf[39:47])),
+		hashes:      int(buf[47]),
+		kind:        FilterKind(buf[48]),
+		granularity: int(binary.LittleEndian.Uint16(buf[49:51])),
+		posPerBF:    uint64(binary.LittleEndian.Uint32(buf[51:55])),
+	}
+	if l.granularity < 1 || l.hashes < 1 {
+		return nil, fmt.Errorf("%w: BF-leaf header granularity=%d hashes=%d", ErrCorrupt, l.granularity, l.hashes)
+	}
+	fb := filterBytes(l.kind, l.posPerBF)
+	if leafHeaderSize+s*fb > len(buf) {
+		return nil, fmt.Errorf("%w: %d filters of %d bytes overflow page", ErrCorrupt, s, fb)
+	}
+	perBFKeys := uint64(0)
+	if s > 0 {
+		perBFKeys = uint64(l.numKeys) / uint64(s)
+	}
+	off := leafHeaderSize
+	switch l.kind {
+	case CountingFilter:
+		l.cnt = make([]*bloom.CountingFilter, s)
+		for i := 0; i < s; i++ {
+			raw := make([]uint8, fb)
+			copy(raw, buf[off:off+fb])
+			l.cnt[i] = bloom.CountingFromRaw(raw, l.posPerBF, l.hashes, perBFKeys)
+			off += fb
+		}
+	case StandardFilter:
+		l.std = make([]*bloom.Filter, s)
+		words := int((l.posPerBF + 63) / 64)
+		for i := 0; i < s; i++ {
+			ws := make([]uint64, words)
+			var tmp [8]byte
+			for j := 0; j < words; j++ {
+				if off+j*8+8 <= off+fb {
+					ws[j] = binary.LittleEndian.Uint64(buf[off+j*8:])
+				} else {
+					copy(tmp[:], buf[off+j*8:off+fb])
+					ws[j] = binary.LittleEndian.Uint64(tmp[:])
+					tmp = [8]byte{}
+				}
+			}
+			l.std[i] = bloom.FromWords(ws, l.posPerBF, l.hashes, perBFKeys)
+			off += fb
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown filter kind %d", ErrCorrupt, l.kind)
+	}
+	return l, nil
+}

@@ -1,0 +1,156 @@
+// Package core implements the BF-Tree, the paper's primary contribution:
+// an approximate tree index whose internal nodes are classic B+-Tree
+// nodes but whose leaves (BF-leaves) hold Bloom filters instead of
+// <key, pointer> entries. Each BF-leaf covers a contiguous range of data
+// pages and a contiguous key range, and stores — per data page, or per
+// group of pages — a Bloom filter answering "might key k be on this
+// page?". Probing trades a configurable false positive probability (and
+// the unnecessary page reads it causes) for an index that is one to two
+// orders of magnitude smaller than the corresponding B+-Tree.
+//
+// The package implements bulk loading (Section 4.2), probe Algorithm 1,
+// insert Algorithm 3, leaf split Algorithm 2 (with the parallel probing
+// optimization of Section 8), range scans with and without the boundary
+// optimization of Section 7, false-positive drift under inserts and
+// deletes (Equation 14), and counting-filter leaves as the deletable
+// alternative Section 7 discusses.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bftree/internal/bloom"
+)
+
+// Errors returned by the package.
+var (
+	ErrOptions  = errors.New("bftree: invalid options")
+	ErrCorrupt  = errors.New("bftree: corrupt node")
+	ErrKeyRange = errors.New("bftree: key outside leaf range")
+)
+
+// FilterKind selects the Bloom filter variant used in BF-leaves.
+type FilterKind byte
+
+const (
+	// StandardFilter is the plain Bloom filter of the paper's
+	// experiments: smallest, insert-only.
+	StandardFilter FilterKind = iota
+	// CountingFilter uses 4-bit counters per position, supporting
+	// deletes at 4x the space per position (Section 7's deletable
+	// alternative).
+	CountingFilter
+)
+
+// Options configure a BF-Tree build.
+type Options struct {
+	// FPP is the design false positive probability of each leaf Bloom
+	// filter. The paper sweeps it from 0.2 to 1e-15.
+	FPP float64
+	// Granularity is the number of consecutive data pages covered by one
+	// Bloom filter within a leaf. 1 (the default and the paper's best
+	// configuration) directs probes to exactly the matching pages;
+	// larger values trade probe precision for fewer, larger filters.
+	Granularity int
+	// Hashes is the number of hash functions per filter. 0 (the
+	// default) selects the optimal count for each leaf's filter
+	// geometry — Equation 1, which sizes the filters, assumes optimal
+	// hashing, and the paper's measured false-read rates (Table 3) track
+	// the design fpp closely, which fixed k cannot do across the sweep.
+	// Set 3 to reproduce the paper's stated configuration exactly.
+	Hashes int
+	// Filter selects standard or counting leaf filters.
+	Filter FilterKind
+	// ParallelProbe enables concurrent probing of a leaf's filters
+	// (Section 8). Off by default: the experiments are I/O-bound.
+	ParallelProbe bool
+}
+
+// withDefaults fills zero values and validates.
+func (o Options) withDefaults() (Options, error) {
+	if o.FPP <= 0 || o.FPP >= 1 {
+		return o, fmt.Errorf("%w: fpp %g out of (0,1)", ErrOptions, o.FPP)
+	}
+	if o.Granularity == 0 {
+		o.Granularity = 1
+	}
+	if o.Granularity < 0 {
+		return o, fmt.Errorf("%w: granularity %d", ErrOptions, o.Granularity)
+	}
+	if o.Hashes < 0 {
+		return o, fmt.Errorf("%w: hashes %d", ErrOptions, o.Hashes)
+	}
+	if o.Filter != StandardFilter && o.Filter != CountingFilter {
+		return o, fmt.Errorf("%w: unknown filter kind %d", ErrOptions, o.Filter)
+	}
+	return o, nil
+}
+
+// Geometry captures the derived leaf parameters for a page size and
+// options: how many bits a leaf can spend on filters and how many
+// distinct keys it can index at the design fpp (Equation 5 of the paper,
+// adjusted for the leaf header).
+type Geometry struct {
+	PageSize     int
+	FilterBits   uint64 // total filter bits available per leaf
+	KeysPerLeaf  uint64 // distinct keys a leaf indexes at the design fpp
+	MinBitsPerBF uint64 // lower bound enforced per sub-filter
+}
+
+// geometryFor computes the leaf geometry. Counting filters spend 4 bits
+// per position, shrinking capacity by 4x.
+func geometryFor(pageSize int, o Options) (Geometry, error) {
+	avail := pageSize - leafHeaderSize
+	if avail < 16 {
+		return Geometry{}, fmt.Errorf("%w: page size %d too small for a BF-leaf", ErrOptions, pageSize)
+	}
+	bits := uint64(avail) * 8
+	if o.Filter == CountingFilter {
+		bits /= 4
+	}
+	keys := bloom.KeysForBits(bits, o.FPP)
+	if keys == 0 {
+		keys = 1
+	}
+	return Geometry{
+		PageSize:     pageSize,
+		FilterBits:   bits,
+		KeysPerLeaf:  keys,
+		MinBitsPerBF: 64,
+	}, nil
+}
+
+// positionsFor divides the leaf's filter byte budget across s filters
+// and returns the positions (bits for standard, counter slots for
+// counting) each filter gets. Working in whole bytes per filter
+// guarantees s filters always fit in the page.
+func (g Geometry) positionsFor(s int, kind FilterKind) uint64 {
+	bytesPer := (g.PageSize - leafHeaderSize) / s
+	if bytesPer < 1 {
+		bytesPer = 1
+	}
+	if kind == CountingFilter {
+		return uint64(bytesPer) * 2
+	}
+	return uint64(bytesPer) * 8
+}
+
+// hashesFor resolves the hash-function count for a leaf with s filters:
+// an explicit option wins; otherwise the optimal count for the design
+// load (keysPerLeaf/s keys in posPerBF positions), capped to stay cheap
+// to probe and to fit the leaf header byte.
+func hashesFor(opt int, posPerBF uint64, keysPerLeaf uint64, s int) int {
+	if opt > 0 {
+		return opt
+	}
+	design := keysPerLeaf / uint64(s)
+	if design < 1 {
+		design = 1
+	}
+	k := bloom.OptimalHashes(posPerBF, design)
+	if k > 30 {
+		k = 30
+	}
+	return k
+}

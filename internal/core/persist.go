@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"bftree/internal/device"
+	"bftree/internal/heapfile"
+	"bftree/internal/pagestore"
+)
+
+// Index metadata layout (little-endian):
+//
+//	bytes 0-3   magic "BFT1"
+//	bytes 4-11  fpp (float64 bits)
+//	bytes 12-15 granularity (uint32)
+//	bytes 16-19 hashes (uint32)
+//	byte  20    filter kind
+//	byte  21    parallel probe flag
+//	bytes 22-29 root pid
+//	bytes 30-37 first leaf pid
+//	bytes 38-41 height (uint32)
+//	bytes 42-49 leaves
+//	bytes 50-57 nodes
+//	bytes 58-65 keys
+//	bytes 66-73 inserts
+//	bytes 74-81 deletes
+//	bytes 82-85 field index (uint32)
+const metaSize = 86
+
+var metaMagic = [4]byte{'B', 'F', 'T', '1'}
+
+// MarshalMeta serializes the tree's metadata — everything needed to
+// reopen the index over its store and data file without rebuilding. The
+// paper stresses that the small index enables fast rebuilds; persistence
+// makes reopening free.
+func (t *Tree) MarshalMeta() []byte {
+	buf := make([]byte, metaSize)
+	copy(buf[0:4], metaMagic[:])
+	binary.LittleEndian.PutUint64(buf[4:12], math.Float64bits(t.opts.FPP))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(t.opts.Granularity))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(t.opts.Hashes))
+	buf[20] = byte(t.opts.Filter)
+	if t.opts.ParallelProbe {
+		buf[21] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[22:30], uint64(t.root))
+	binary.LittleEndian.PutUint64(buf[30:38], uint64(t.firstLeaf))
+	binary.LittleEndian.PutUint32(buf[38:42], uint32(t.height))
+	binary.LittleEndian.PutUint64(buf[42:50], t.numLeaves)
+	binary.LittleEndian.PutUint64(buf[50:58], t.numNodes)
+	binary.LittleEndian.PutUint64(buf[58:66], t.numKeys)
+	binary.LittleEndian.PutUint64(buf[66:74], t.inserts)
+	binary.LittleEndian.PutUint64(buf[74:82], t.deletes)
+	binary.LittleEndian.PutUint32(buf[82:86], uint32(t.fieldIdx))
+	return buf
+}
+
+// Open reopens a tree from metadata produced by MarshalMeta. The store
+// must hold the index pages the metadata references, and file must be
+// the indexed relation.
+func Open(store *pagestore.Store, file *heapfile.File, meta []byte) (*Tree, error) {
+	if len(meta) < metaSize {
+		return nil, fmt.Errorf("%w: metadata is %d bytes, want %d", ErrCorrupt, len(meta), metaSize)
+	}
+	if [4]byte(meta[0:4]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad metadata magic", ErrCorrupt)
+	}
+	opts := Options{
+		FPP:           math.Float64frombits(binary.LittleEndian.Uint64(meta[4:12])),
+		Granularity:   int(binary.LittleEndian.Uint32(meta[12:16])),
+		Hashes:        int(binary.LittleEndian.Uint32(meta[16:20])),
+		Filter:        FilterKind(meta[20]),
+		ParallelProbe: meta[21] == 1,
+	}
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	geo, err := geometryFor(store.PageSize(), o)
+	if err != nil {
+		return nil, err
+	}
+	fieldIdx := int(binary.LittleEndian.Uint32(meta[82:86]))
+	if fieldIdx < 0 || fieldIdx >= len(file.Schema().Fields) {
+		return nil, fmt.Errorf("%w: field index %d out of schema", ErrCorrupt, fieldIdx)
+	}
+	t := &Tree{
+		store:     store,
+		file:      file,
+		fieldIdx:  fieldIdx,
+		opts:      o,
+		geo:       geo,
+		root:      device.PageID(binary.LittleEndian.Uint64(meta[22:30])),
+		firstLeaf: device.PageID(binary.LittleEndian.Uint64(meta[30:38])),
+		height:    int(binary.LittleEndian.Uint32(meta[38:42])),
+		numLeaves: binary.LittleEndian.Uint64(meta[42:50]),
+		numNodes:  binary.LittleEndian.Uint64(meta[50:58]),
+		numKeys:   binary.LittleEndian.Uint64(meta[58:66]),
+		inserts:   binary.LittleEndian.Uint64(meta[66:74]),
+		deletes:   binary.LittleEndian.Uint64(meta[74:82]),
+	}
+	// Sanity-probe the root so corrupt metadata fails fast.
+	buf, err := store.ReadPage(t.root)
+	if err != nil {
+		return nil, fmt.Errorf("bftree: open: %w", err)
+	}
+	if _, err := nodeKind(buf); err != nil {
+		return nil, fmt.Errorf("bftree: open: root page: %w", err)
+	}
+	return t, nil
+}
+
+// Rebuild re-bulk-loads the index from its data file with the same
+// options, discarding accumulated fpp drift from inserts and deletes.
+// "The smaller size enables fast rebuilds if needed" (Section 1.4): a
+// BF-Tree rebuild is one sequential pass over the data and one over the
+// new leaves. The rebuilt tree writes fresh pages on the same store; the
+// old pages are abandoned (the simulated store does not reclaim space).
+func (t *Tree) Rebuild() error {
+	fresh, err := BulkLoad(t.store, t.file, t.fieldIdx, t.opts)
+	if err != nil {
+		return err
+	}
+	*t = *fresh
+	return nil
+}

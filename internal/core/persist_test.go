@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMarshalMetaOpenRoundTrip(t *testing.T) {
+	fx := newFixture(t, 20000, 11)
+	tr := fx.build(t, 0, Options{FPP: 1e-3, Granularity: 2})
+	// Drift some state so all counters round-trip.
+	if err := tr.Delete(5, fx.file.PageOf(5)); err != nil {
+		t.Fatal(err)
+	}
+	meta := tr.MarshalMeta()
+
+	back, err := Open(fx.idxStore, fx.file, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Height() != tr.Height() || back.NumLeaves() != tr.NumLeaves() ||
+		back.NumNodes() != tr.NumNodes() || back.NumKeys() != tr.NumKeys() {
+		t.Fatalf("geometry mismatch: %s vs %s", back, tr)
+	}
+	if back.Options().FPP != 1e-3 || back.Options().Granularity != 2 {
+		t.Errorf("options mismatch: %+v", back.Options())
+	}
+	if back.EffectiveFPP() != tr.EffectiveFPP() {
+		t.Error("drift counters lost")
+	}
+	// The reopened tree must answer probes identically.
+	for k := uint64(0); k < 20000; k += 1111 {
+		a, err := tr.SearchFirst(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.SearchFirst(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Tuples) != len(b.Tuples) {
+			t.Fatalf("key %d: %d vs %d tuples after reopen", k, len(a.Tuples), len(b.Tuples))
+		}
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	fx := newFixture(t, 1000, 11)
+	tr := fx.build(t, 0, Options{FPP: 1e-2})
+	meta := tr.MarshalMeta()
+
+	if _, err := Open(fx.idxStore, fx.file, meta[:10]); err == nil {
+		t.Error("short metadata accepted")
+	}
+	bad := append([]byte(nil), meta...)
+	bad[0] = 'X'
+	if _, err := Open(fx.idxStore, fx.file, bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Field index beyond the schema.
+	bad = append([]byte(nil), meta...)
+	bad[82] = 99
+	if _, err := Open(fx.idxStore, fx.file, bad); err == nil {
+		t.Error("out-of-schema field accepted")
+	}
+	// Root pointing at an unallocated page.
+	bad = append([]byte(nil), meta...)
+	bad[22] = 0xff
+	bad[23] = 0xff
+	if _, err := Open(fx.idxStore, fx.file, bad); err == nil {
+		t.Error("dangling root accepted")
+	}
+}
+
+func TestRebuildClearsDrift(t *testing.T) {
+	fx := newFixture(t, 10000, 11)
+	tr := fx.build(t, 0, Options{FPP: 1e-3})
+	base := tr.EffectiveFPP()
+	for k := uint64(0); k < 500; k++ {
+		if err := tr.Delete(k, fx.file.PageOf(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.EffectiveFPP() <= base {
+		t.Fatal("deletes should have drifted the fpp")
+	}
+	if err := tr.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.EffectiveFPP(); got != base {
+		t.Errorf("rebuild fpp = %g, want design %g", got, base)
+	}
+	// Probes still work against the rebuilt pages.
+	for k := uint64(0); k < 10000; k += 997 {
+		res, err := tr.SearchFirst(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != 1 {
+			t.Fatalf("key %d lost by rebuild", k)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bftree/internal/device"
+	"bftree/internal/heapfile"
+	"bftree/internal/pagestore"
+)
+
+// TestQuickEndToEnd is the whole-index property: for arbitrary ordered
+// multisets of keys and arbitrary fpp settings, a bulk-loaded BF-Tree
+// returns exactly the tuples of every present key (correct multiplicity,
+// no false negatives) and nothing for keys outside the domain.
+func TestQuickEndToEnd(t *testing.T) {
+	schema := heapfile.Schema{
+		TupleSize: 32,
+		Fields:    []heapfile.Field{{Name: "k", Offset: 0}},
+	}
+	prop := func(rawKeys []uint16, fppSel uint8) bool {
+		if len(rawKeys) == 0 {
+			return true
+		}
+		keys := make([]uint64, len(rawKeys))
+		counts := make(map[uint64]int)
+		for i, rk := range rawKeys {
+			keys[i] = uint64(rk % 1000)
+			counts[keys[i]]++
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+		store := pagestore.New(device.New(device.Memory, 1024))
+		b, err := heapfile.NewBuilder(store, schema)
+		if err != nil {
+			return false
+		}
+		tup := make([]byte, 32)
+		for _, k := range keys {
+			schema.Set(tup, 0, k)
+			if err := b.Append(tup); err != nil {
+				return false
+			}
+		}
+		file, err := b.Finish()
+		if err != nil {
+			return false
+		}
+		fpps := []float64{0.3, 0.05, 1e-3, 1e-8}
+		tr, err := BulkLoad(pagestore.New(device.New(device.Memory, 1024)),
+			file, 0, Options{FPP: fpps[int(fppSel)%len(fpps)]})
+		if err != nil {
+			return false
+		}
+		for k, want := range counts {
+			res, err := tr.Search(k)
+			if err != nil || len(res.Tuples) != want {
+				return false
+			}
+		}
+		// Keys beyond the domain never match.
+		res, err := tr.Search(5000)
+		return err == nil && len(res.Tuples) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInsertSearchAgree: after random interleavings of re-inserts,
+// every original key stays findable.
+func TestQuickInsertSearchAgree(t *testing.T) {
+	f, _ := buildInitialFile(t, 2000)
+	tr, err := BulkLoad(pagestore.New(device.New(device.Memory, 4096)), f, 0, Options{FPP: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(raw uint16) bool {
+		k := uint64(raw % 2000)
+		if err := tr.Insert(k, f.PageOf(k)); err != nil {
+			return false
+		}
+		res, err := tr.SearchFirst(k)
+		return err == nil && len(res.Tuples) == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

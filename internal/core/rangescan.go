@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"bftree/internal/device"
+)
+
+// rangeEnumLimit caps the boundary-value enumeration of the optimized
+// range scan; Section 7 notes the optimization is impractical for very
+// high-cardinality domains, where the plain scan is used instead.
+const rangeEnumLimit = 1 << 20
+
+// RangeScan returns every tuple whose indexed field lies in [lo, hi],
+// reading whole partitions: each BF-leaf overlapping the range
+// contributes all of its data pages (Section 7). Middle partitions are
+// entirely useful; boundary partitions incur the read overhead Figure 13
+// quantifies.
+func (t *Tree) RangeScan(lo, hi uint64) (*Result, error) {
+	return t.rangeScan(lo, hi, false)
+}
+
+// RangeScanOptimized is the boundary optimization of Section 7: for the
+// boundary partitions it enumerates the key values of the overlap and
+// probes the Bloom filters, reading only the matching pages.
+func (t *Tree) RangeScanOptimized(lo, hi uint64) (*Result, error) {
+	return t.rangeScan(lo, hi, true)
+}
+
+func (t *Tree) rangeScan(lo, hi uint64, optimize bool) (*Result, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("%w: range [%d,%d] inverted", ErrOptions, lo, hi)
+	}
+	res := &Result{}
+	leaf, _, err := t.descend(lo, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if leaf.minKey > hi {
+			return res, nil
+		}
+		if leaf.maxKey >= lo && leaf.numKeys > 0 {
+			boundary := leaf.minKey < lo || leaf.maxKey > hi
+			if boundary && optimize && overlapSpan(leaf, lo, hi) <= rangeEnumLimit {
+				if err := t.scanBoundaryOptimized(leaf, lo, hi, res); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := t.scanWholeLeaf(leaf, lo, hi, res); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if leaf.next == device.InvalidPage {
+			return res, nil
+		}
+		leaf, err = t.readLeaf(leaf.next, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// overlapSpan returns the size of the key overlap between a leaf and the
+// scan range.
+func overlapSpan(leaf *bfLeaf, lo, hi uint64) uint64 {
+	a, b := leaf.minKey, leaf.maxKey
+	if lo > a {
+		a = lo
+	}
+	if hi < b {
+		b = hi
+	}
+	if b < a {
+		return 0
+	}
+	return b - a + 1
+}
+
+// scanWholeLeaf reads every data page of the partition sequentially and
+// keeps the tuples inside [lo, hi].
+func (t *Tree) scanWholeLeaf(leaf *bfLeaf, lo, hi uint64, res *Result) error {
+	last := t.lastDataPage()
+	end := leaf.maxPid
+	if end > last {
+		end = last
+	}
+	for pid := leaf.minPid; pid <= end; pid++ {
+		if err := t.collectPage(pid, lo, hi, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanBoundaryOptimized enumerates the overlap keys, probes the leaf's
+// filters, and reads only the flagged pages.
+func (t *Tree) scanBoundaryOptimized(leaf *bfLeaf, lo, hi uint64, res *Result) error {
+	a, b := leaf.minKey, leaf.maxKey
+	if lo > a {
+		a = lo
+	}
+	if hi < b {
+		b = hi
+	}
+	wanted := make(map[device.PageID]bool)
+	for k := a; ; k++ {
+		matches := leaf.probe(k, t.opts.ParallelProbe)
+		res.Stats.BFProbes += leaf.numBFs()
+		for _, bid := range matches {
+			plo, phi := leaf.pageRangeOf(bid)
+			for p := plo; p <= phi; p++ {
+				wanted[p] = true
+			}
+		}
+		if k == b {
+			break
+		}
+	}
+	last := t.lastDataPage()
+	// Read the wanted pages in ascending order (the sorted access list).
+	end := leaf.maxPid
+	if end > last {
+		end = last
+	}
+	for pid := leaf.minPid; pid <= end; pid++ {
+		if !wanted[pid] {
+			continue
+		}
+		if err := t.collectPage(pid, lo, hi, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectPage reads one data page and appends its in-range tuples.
+func (t *Tree) collectPage(pid device.PageID, lo, hi uint64, res *Result) error {
+	tuples, err := t.file.ReadPageTuples(pid)
+	if err != nil {
+		return err
+	}
+	res.Stats.DataPagesRead++
+	matched := false
+	for _, tup := range tuples {
+		k := t.file.Schema().Get(tup, t.fieldIdx)
+		if k >= lo && k <= hi {
+			cp := make([]byte, len(tup))
+			copy(cp, tup)
+			res.Tuples = append(res.Tuples, cp)
+			matched = true
+		}
+	}
+	if !matched {
+		res.Stats.FalseReads++
+	}
+	return nil
+}
+
+// Intersect probes this tree and another for the same key and returns
+// the data pages both indexes consider candidates — the index
+// intersection of Section 8, whose false positive probability is the
+// product of the two trees' probabilities.
+func (t *Tree) Intersect(other *Tree, keyThis, keyOther uint64) ([]device.PageID, *ProbeStats, error) {
+	stats := &ProbeStats{}
+	mine, err := t.candidatePages(keyThis, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	theirs, err := other.candidatePages(keyOther, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	inOther := make(map[device.PageID]bool, len(theirs))
+	for _, p := range theirs {
+		inOther[p] = true
+	}
+	var out []device.PageID
+	for _, p := range mine {
+		if inOther[p] {
+			out = append(out, p)
+		}
+	}
+	return out, stats, nil
+}
+
+// candidatePages runs the index part of Algorithm 1 only: descend, probe,
+// and return candidate data pages without fetching them.
+func (t *Tree) candidatePages(key uint64, stats *ProbeStats) ([]device.PageID, error) {
+	leaf, _, err := t.descend(key, stats)
+	if err != nil {
+		return nil, err
+	}
+	for key > leaf.maxKey && leaf.next != device.InvalidPage {
+		nl, err := t.readLeaf(leaf.next, stats)
+		if err != nil {
+			return nil, err
+		}
+		if key < nl.minKey {
+			return nil, nil
+		}
+		leaf = nl
+	}
+	var out []device.PageID
+	last := t.lastDataPage()
+	for {
+		if key < leaf.minKey || key > leaf.maxKey {
+			return out, nil
+		}
+		matches := leaf.probe(key, t.opts.ParallelProbe)
+		stats.BFProbes += leaf.numBFs()
+		for _, bid := range matches {
+			lo, hi := leaf.pageRangeOf(bid)
+			if hi > last {
+				hi = last
+			}
+			for p := lo; p <= hi; p++ {
+				out = append(out, p)
+				stats.CandidatePages++
+			}
+		}
+		if leaf.next == device.InvalidPage {
+			return out, nil
+		}
+		nl, err := t.readLeaf(leaf.next, stats)
+		if err != nil {
+			return nil, err
+		}
+		if key < nl.minKey || key > nl.maxKey {
+			return out, nil
+		}
+		leaf = nl
+	}
+}

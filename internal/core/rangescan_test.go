@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bftree/internal/device"
+	"bftree/internal/pagestore"
+)
+
+func TestRangeScanExact(t *testing.T) {
+	fx := newFixture(t, 20000, 11)
+	tr := fx.build(t, 0, Options{FPP: 0.01})
+	res, err := tr.RangeScan(1000, 1999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1000 {
+		t.Fatalf("range returned %d tuples, want 1000", len(res.Tuples))
+	}
+	for _, tup := range res.Tuples {
+		k := fx.file.Schema().Get(tup, 0)
+		if k < 1000 || k > 1999 {
+			t.Fatalf("tuple %d outside range", k)
+		}
+	}
+}
+
+func TestRangeScanWholeFile(t *testing.T) {
+	fx := newFixture(t, 5000, 11)
+	tr := fx.build(t, 0, Options{FPP: 0.01})
+	res, err := tr.RangeScan(0, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(res.Tuples)) != fx.file.NumTuples() {
+		t.Fatalf("whole-file scan returned %d of %d", len(res.Tuples), fx.file.NumTuples())
+	}
+	// A whole-file scan touches every data page exactly once.
+	if uint64(res.Stats.DataPagesRead) != fx.file.NumPages() {
+		t.Errorf("read %d pages, file has %d", res.Stats.DataPagesRead, fx.file.NumPages())
+	}
+}
+
+func TestRangeScanEmptyAndErrors(t *testing.T) {
+	fx := newFixture(t, 5000, 11)
+	tr := fx.build(t, 0, Options{FPP: 0.01})
+	res, err := tr.RangeScan(100000, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Error("out-of-domain range matched")
+	}
+	if _, err := tr.RangeScan(10, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestRangeScanBoundaryOverheadShrinksWithFPP(t *testing.T) {
+	// Figure 13's mechanism: lower fpp → leaves hold fewer keys → less
+	// boundary over-read.
+	readPages := func(fpp float64) int {
+		fx := newFixture(t, 40000, 11)
+		tr := fx.build(t, 0, Options{FPP: fpp})
+		res, err := tr.RangeScan(10000, 10999) // small range, boundary-dominated
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.DataPagesRead
+	}
+	loose := readPages(0.3)
+	tight := readPages(1e-8)
+	if tight > loose {
+		t.Errorf("tight fpp read %d pages, loose %d; overhead should shrink", tight, loose)
+	}
+}
+
+func TestRangeScanOptimizedReadsFewerPages(t *testing.T) {
+	fx := newFixture(t, 40000, 11)
+	tr := fx.build(t, 0, Options{FPP: 1e-6})
+	plain, err := tr.RangeScan(5000, 5099)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := tr.RangeScanOptimized(5000, 5099)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Tuples) != len(opt.Tuples) {
+		t.Fatalf("optimized scan changed results: %d vs %d", len(opt.Tuples), len(plain.Tuples))
+	}
+	if opt.Stats.DataPagesRead > plain.Stats.DataPagesRead {
+		t.Errorf("optimized read %d pages, plain %d", opt.Stats.DataPagesRead, plain.Stats.DataPagesRead)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	// Two indexes on the same relation: PK and ATT1. The pages containing
+	// pk=110 and its att1 value must intersect on pk's page.
+	fx := newFixture(t, 20000, 11)
+	pkTree := fx.build(t, 0, Options{FPP: 0.01})
+	att1Idx := pagestore.New(device.New(device.Memory, 4096))
+	att1Tree, err := BulkLoad(att1Idx, fx.file, 1, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find att1 of pk=110 from the data.
+	res, err := pkTree.SearchFirst(110)
+	if err != nil || len(res.Tuples) != 1 {
+		t.Fatal("seed search failed")
+	}
+	att1 := fx.file.Schema().Get(res.Tuples[0], 1)
+	pages, stats, err := pkTree.Intersect(att1Tree, 110, att1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BFProbes == 0 {
+		t.Error("intersection should probe filters")
+	}
+	target := fx.file.PageOf(110)
+	found := false
+	for _, p := range pages {
+		if p == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("intersection lost the true page")
+	}
+	// The intersection is at most as large as either candidate set.
+	var s1, s2 ProbeStats
+	mine, _ := pkTree.candidatePages(110, &s1)
+	theirs, _ := att1Tree.candidatePages(att1, &s2)
+	if len(pages) > len(mine) || len(pages) > len(theirs) {
+		t.Error("intersection larger than an input set")
+	}
+}
+
+// Property: RangeScan returns exactly the tuples a full scan filtered to
+// [lo,hi] would, for random ranges.
+func TestQuickRangeScanMatchesScan(t *testing.T) {
+	fx := newFixture(t, 15000, 11)
+	tr := fx.build(t, 0, Options{FPP: 0.05})
+	prop := func(a, b uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		res, err := tr.RangeScan(lo, hi)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for k := lo; k <= hi && k < 15000; k++ {
+			want++
+		}
+		return len(res.Tuples) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: optimized and plain range scans agree on results.
+func TestQuickOptimizedAgrees(t *testing.T) {
+	fx := newFixture(t, 10000, 11)
+	tr := fx.build(t, 0, Options{FPP: 0.01})
+	prop := func(a uint16, span uint8) bool {
+		lo := uint64(a % 11000)
+		hi := lo + uint64(span)
+		p, err := tr.RangeScan(lo, hi)
+		if err != nil {
+			return false
+		}
+		o, err := tr.RangeScanOptimized(lo, hi)
+		if err != nil {
+			return false
+		}
+		return len(p.Tuples) == len(o.Tuples)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

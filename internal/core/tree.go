@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bftree/internal/bloom"
+	"bftree/internal/device"
+	"bftree/internal/heapfile"
+	"bftree/internal/pagestore"
+)
+
+// ProbeStats accounts the work done by one index probe (or accumulates
+// over many).
+type ProbeStats struct {
+	IndexReads     int // index pages read (internal nodes + BF-leaves)
+	BFProbes       int // Bloom filter membership tests
+	CandidatePages int // data pages the filters flagged
+	DataPagesRead  int // data pages actually fetched
+	FalseReads     int // fetched data pages containing no match
+}
+
+// add accumulates s into p.
+func (p *ProbeStats) add(s ProbeStats) {
+	p.IndexReads += s.IndexReads
+	p.BFProbes += s.BFProbes
+	p.CandidatePages += s.CandidatePages
+	p.DataPagesRead += s.DataPagesRead
+	p.FalseReads += s.FalseReads
+}
+
+// Result is the outcome of a probe: matching tuples (copies) and the
+// probe's cost accounting.
+type Result struct {
+	Tuples [][]byte
+	Stats  ProbeStats
+}
+
+// Store returns the index page store.
+func (t *Tree) Store() *pagestore.Store { return t.store }
+
+// File returns the indexed heap file.
+func (t *Tree) File() *heapfile.File { return t.file }
+
+// FieldIndex returns the indexed field.
+func (t *Tree) FieldIndex() int { return t.fieldIdx }
+
+// Options returns the build options (with defaults applied).
+func (t *Tree) Options() Options { return t.opts }
+
+// Geometry returns the derived leaf geometry.
+func (t *Tree) Geometry() Geometry { return t.geo }
+
+// Height returns the number of levels, BF-leaves included (Equation 7).
+func (t *Tree) Height() int { return t.height }
+
+// NumLeaves returns the BF-leaf count (Equation 6).
+func (t *Tree) NumLeaves() uint64 { return t.numLeaves }
+
+// NumNodes returns the total page count of the index; size in bytes is
+// NumNodes × page size (Equation 10).
+func (t *Tree) NumNodes() uint64 { return t.numNodes }
+
+// NumKeys returns the number of distinct keys indexed at build time.
+func (t *Tree) NumKeys() uint64 { return t.numKeys }
+
+// SizeBytes returns the index footprint in bytes.
+func (t *Tree) SizeBytes() uint64 { return t.numNodes * uint64(t.store.PageSize()) }
+
+// Root returns the root page id.
+func (t *Tree) Root() device.PageID { return t.root }
+
+// EffectiveFPP estimates the current false positive probability after
+// post-build inserts and deletes: Equation 14 for inserts, plus the
+// additive delete term of Section 7.
+func (t *Tree) EffectiveFPP() float64 {
+	fpp := t.opts.FPP
+	if t.numKeys > 0 && t.inserts > 0 {
+		fpp = bloom.DriftedFPP(fpp, float64(t.inserts)/float64(t.numKeys))
+	}
+	if t.opts.Filter == StandardFilter && t.numKeys > 0 && t.deletes > 0 {
+		fpp += float64(t.deletes) / float64(t.numKeys)
+		if fpp > 1 {
+			fpp = 1
+		}
+	}
+	return fpp
+}
+
+// InternalPages returns the ids of all internal (non-leaf) pages, for
+// pre-warming a buffer cache in warm-cache experiments.
+func (t *Tree) InternalPages() ([]device.PageID, error) {
+	if t.height == 1 {
+		return nil, nil
+	}
+	var out []device.PageID
+	var walk func(pid device.PageID, depth int) error
+	walk = func(pid device.PageID, depth int) error {
+		if depth == t.height-1 {
+			return nil
+		}
+		out = append(out, pid)
+		buf, err := t.store.ReadPage(pid)
+		if err != nil {
+			return err
+		}
+		n, err := decodeInternal(buf)
+		if err != nil {
+			return err
+		}
+		for _, c := range n.children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readLeaf fetches and decodes the BF-leaf at pid.
+func (t *Tree) readLeaf(pid device.PageID, stats *ProbeStats) (*bfLeaf, error) {
+	buf, err := t.store.ReadPage(pid)
+	if err != nil {
+		return nil, err
+	}
+	stats.IndexReads++
+	return decodeBFLeaf(buf)
+}
+
+// descend walks the internal levels to the leftmost leaf that may hold
+// key, charging one index read per level.
+func (t *Tree) descend(key uint64, stats *ProbeStats) (*bfLeaf, device.PageID, error) {
+	pid := t.root
+	for {
+		buf, err := t.store.ReadPage(pid)
+		if err != nil {
+			return nil, 0, err
+		}
+		stats.IndexReads++
+		kind, err := nodeKind(buf)
+		if err != nil {
+			return nil, 0, err
+		}
+		if kind == nodeBFLeaf {
+			l, err := decodeBFLeaf(buf)
+			if err != nil {
+				return nil, 0, err
+			}
+			return l, pid, nil
+		}
+		n, err := decodeInternal(buf)
+		if err != nil {
+			return nil, 0, err
+		}
+		i := sort.Search(len(n.keys), func(i int) bool { return key <= n.keys[i] })
+		pid = n.children[i]
+	}
+}
+
+// lastDataPage returns the final page id of the indexed file, for
+// clamping candidate ranges of leaves that cover not-yet-written pages.
+func (t *Tree) lastDataPage() device.PageID {
+	return t.file.FirstPage() + device.PageID(t.file.NumPages()) - 1
+}
+
+// Search implements Algorithm 1: descend to the BF-leaf for key, probe
+// every Bloom filter, fetch the candidate data pages in ascending page
+// order (the sorted access list the paper hands to the device), and
+// return every tuple whose indexed field equals key.
+func (t *Tree) Search(key uint64) (*Result, error) {
+	return t.search(key, false)
+}
+
+// SearchFirst is the primary-key variant of Algorithm 1: the scan stops
+// as soon as one matching tuple is found, as the paper does for unique
+// indexes.
+func (t *Tree) SearchFirst(key uint64) (*Result, error) {
+	return t.search(key, true)
+}
+
+func (t *Tree) search(key uint64, firstOnly bool) (*Result, error) {
+	res := &Result{}
+	leaf, _, err := t.descend(key, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	// Leftmost descent can land one leaf early when key equals a
+	// separator; skip forward while the leaf's range is entirely below.
+	for key > leaf.maxKey && leaf.next != device.InvalidPage {
+		nextLeaf, err := t.readLeaf(leaf.next, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if key < nextLeaf.minKey {
+			return res, nil
+		}
+		leaf = nextLeaf
+	}
+	// Duplicates of key may continue into following leaves; process
+	// every leaf whose [minKey, maxKey] covers key.
+	for {
+		if key >= leaf.minKey && key <= leaf.maxKey {
+			done, err := t.probeLeaf(leaf, key, firstOnly, res)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return res, nil
+			}
+		} else {
+			return res, nil
+		}
+		if leaf.next == device.InvalidPage {
+			return res, nil
+		}
+		nextLeaf, err := t.readLeaf(leaf.next, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if key < nextLeaf.minKey || key > nextLeaf.maxKey {
+			return res, nil
+		}
+		leaf = nextLeaf
+	}
+}
+
+// probeLeaf runs the filter probes and candidate page reads for one leaf.
+// It reports true when firstOnly is set and a match was found.
+func (t *Tree) probeLeaf(leaf *bfLeaf, key uint64, firstOnly bool, res *Result) (bool, error) {
+	matches := leaf.probe(key, t.opts.ParallelProbe)
+	res.Stats.BFProbes += leaf.numBFs()
+	last := t.lastDataPage()
+	for _, bid := range matches {
+		lo, hi := leaf.pageRangeOf(bid)
+		if hi > last {
+			hi = last
+		}
+		for pid := lo; pid <= hi; pid++ {
+			res.Stats.CandidatePages++
+			tuples, err := t.file.SearchPage(pid, t.fieldIdx, key)
+			if err != nil {
+				return false, err
+			}
+			res.Stats.DataPagesRead++
+			if len(tuples) == 0 {
+				res.Stats.FalseReads++
+				continue
+			}
+			for _, tup := range tuples {
+				cp := make([]byte, len(tup))
+				copy(cp, tup)
+				res.Tuples = append(res.Tuples, cp)
+			}
+			if firstOnly {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("bftree{fpp=%g height=%d leaves=%d nodes=%d keys=%d size=%dB}",
+		t.opts.FPP, t.height, t.numLeaves, t.numNodes, t.numKeys, t.SizeBytes())
+}

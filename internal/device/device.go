@@ -1,0 +1,221 @@
+// Package device simulates the secondary-storage devices of the paper's
+// testbed (Section 6.1): a 10K RPM hard disk, a SATA SSD, and main
+// memory. Each device stores pages in RAM and charges accesses against a
+// deterministic virtual clock using a per-device cost model, so
+// experiments measure exactly the quantity the paper reasons about — the
+// number and kind of I/O operations weighted by device characteristics —
+// without the noise of real hardware.
+//
+// The cost models distinguish random from sequential access: a read of
+// the page that physically follows the previous read is charged the
+// sequential rate, anything else pays the random-access penalty (seek +
+// rotational latency on the HDD, a flat operation cost on the SSD). This
+// reproduces the property the paper's design exploits: on the HDD
+// sequential I/O is orders of magnitude cheaper than random I/O, while on
+// the SSD the two are nearly identical.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PageID identifies a page on a device. Pages are numbered from 0.
+type PageID uint64
+
+// InvalidPage is a sentinel for "no page".
+const InvalidPage = PageID(1<<64 - 1)
+
+// Kind enumerates the simulated device classes.
+type Kind int
+
+// Device kinds, in increasing random-read cost.
+const (
+	Memory Kind = iota
+	SSD
+	HDD
+)
+
+// String returns the conventional short name of the device kind.
+func (k Kind) String() string {
+	switch k {
+	case Memory:
+		return "mem"
+	case SSD:
+		return "SSD"
+	case HDD:
+		return "HDD"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// CostModel gives the virtual-time cost of each operation class on a
+// device. Costs are per page of PageSize bytes.
+type CostModel struct {
+	RandomRead  time.Duration // read of a non-adjacent page
+	SeqRead     time.Duration // read of the page following the last access
+	RandomWrite time.Duration
+	SeqWrite    time.Duration
+}
+
+// Stats accumulates I/O accounting for a device. All counters are
+// monotonically increasing; Snapshot under the device lock gives a
+// consistent view.
+type Stats struct {
+	RandomReads  uint64
+	SeqReads     uint64
+	RandomWrites uint64
+	SeqWrites    uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	Elapsed      time.Duration // virtual time charged against this device
+}
+
+// Reads returns total page reads of both kinds.
+func (s Stats) Reads() uint64 { return s.RandomReads + s.SeqReads }
+
+// Writes returns total page writes of both kinds.
+func (s Stats) Writes() uint64 { return s.RandomWrites + s.SeqWrites }
+
+// String formats the stats compactly for harness output.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d(rand=%d,seq=%d) writes=%d elapsed=%v",
+		s.Reads(), s.RandomReads, s.SeqReads, s.Writes(), s.Elapsed)
+}
+
+// ErrOutOfRange reports access to a page beyond the device size.
+var ErrOutOfRange = errors.New("device: page out of range")
+
+// Device is a simulated page-addressable storage device. It is safe for
+// concurrent use; the virtual clock serializes cost accounting but data
+// accesses copy in and out under the lock.
+type Device struct {
+	mu       sync.Mutex
+	kind     Kind
+	name     string
+	pageSize int
+	cost     CostModel
+	pages    [][]byte
+	lastPage PageID // for sequential detection; InvalidPage initially
+	stats    Stats
+}
+
+// New creates a device of the given kind with the default profile for
+// that kind (see profiles.go) and a fixed page size in bytes.
+func New(kind Kind, pageSize int) *Device {
+	return NewWithProfile(Profile{Name: kind.String(), Kind: kind, Cost: DefaultCost(kind)}, pageSize)
+}
+
+// NewWithProfile creates a device with an explicit cost profile.
+func NewWithProfile(p Profile, pageSize int) *Device {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	return &Device{
+		kind:     p.Kind,
+		name:     p.Name,
+		pageSize: pageSize,
+		cost:     p.Cost,
+		lastPage: InvalidPage,
+	}
+}
+
+// Kind returns the device class.
+func (d *Device) Kind() Kind { return d.kind }
+
+// Name returns the profile name.
+func (d *Device) Name() string { return d.name }
+
+// PageSize returns the page size in bytes.
+func (d *Device) PageSize() int { return d.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (d *Device) NumPages() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return uint64(len(d.pages))
+}
+
+// Allocate appends n zeroed pages and returns the id of the first.
+func (d *Device) Allocate(n int) PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	first := PageID(len(d.pages))
+	for i := 0; i < n; i++ {
+		d.pages = append(d.pages, make([]byte, d.pageSize))
+	}
+	return first
+}
+
+// ReadPage reads page id into buf (which must be at least PageSize long)
+// and charges the appropriate cost. It reports whether the access was
+// sequential.
+func (d *Device) ReadPage(id PageID, buf []byte) (sequential bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if uint64(id) >= uint64(len(d.pages)) {
+		return false, fmt.Errorf("%w: read page %d of %d", ErrOutOfRange, id, len(d.pages))
+	}
+	if len(buf) < d.pageSize {
+		return false, fmt.Errorf("device: buffer %d smaller than page size %d", len(buf), d.pageSize)
+	}
+	copy(buf, d.pages[id])
+	sequential = d.lastPage != InvalidPage && id == d.lastPage+1
+	if sequential {
+		d.stats.SeqReads++
+		d.stats.Elapsed += d.cost.SeqRead
+	} else {
+		d.stats.RandomReads++
+		d.stats.Elapsed += d.cost.RandomRead
+	}
+	d.stats.BytesRead += uint64(d.pageSize)
+	d.lastPage = id
+	return sequential, nil
+}
+
+// WritePage writes buf to page id, charging the appropriate cost. The
+// page must already be allocated.
+func (d *Device) WritePage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if uint64(id) >= uint64(len(d.pages)) {
+		return fmt.Errorf("%w: write page %d of %d", ErrOutOfRange, id, len(d.pages))
+	}
+	if len(buf) > d.pageSize {
+		return fmt.Errorf("device: payload %d exceeds page size %d", len(buf), d.pageSize)
+	}
+	copy(d.pages[id], buf)
+	for i := len(buf); i < d.pageSize; i++ {
+		d.pages[id][i] = 0
+	}
+	if d.lastPage != InvalidPage && id == d.lastPage+1 {
+		d.stats.SeqWrites++
+		d.stats.Elapsed += d.cost.SeqWrite
+	} else {
+		d.stats.RandomWrites++
+		d.stats.Elapsed += d.cost.RandomWrite
+	}
+	d.stats.BytesWritten += uint64(d.pageSize)
+	d.lastPage = id
+	return nil
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters and the sequential-access tracker. Data
+// is untouched; experiments call this between the build phase and the
+// measured probe phase.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+	d.lastPage = InvalidPage
+}

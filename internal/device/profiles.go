@@ -1,0 +1,82 @@
+package device
+
+import "time"
+
+// Profile names a device and its cost model. Profiles back both the
+// measured experiments (Section 6) and the storage-trade-off landscape of
+// Figure 2.
+type Profile struct {
+	Name string
+	Kind Kind
+	Cost CostModel
+}
+
+// Default cost models, derived from the testbed of Section 6.1 with 4 KB
+// pages:
+//
+//   - HDD: Seagate 10K RPM. Random read ≈ seek + half-rotation ≈ 3 ms +
+//     3 ms = 6 ms is typical for 10K drives; the paper reports 106 MB/s
+//     sequential throughput → 4 KB/106 MB/s ≈ 38.6 µs per sequential page.
+//   - SSD: OCZ Deneva 2C, advertised 80 kIOPS random reads → 12.5 µs per
+//     random 4 KB read; 550 MB/s sequential → ≈ 7.3 µs per page.
+//   - Memory: ≈ 100 ns per 4 KB (DRAM copy + lookup overheads), identical
+//     for random and sequential.
+//
+// The ratios matter more than the absolute values: HDD random : SSD
+// random : memory ≈ 480 : 1 : 0.008, and HDD sequential is ≈ 155x cheaper
+// than HDD random, which is the asymmetry the BF-Tree design exploits.
+func DefaultCost(kind Kind) CostModel {
+	switch kind {
+	case HDD:
+		return CostModel{
+			RandomRead:  6 * time.Millisecond,
+			SeqRead:     38600 * time.Nanosecond,
+			RandomWrite: 6 * time.Millisecond,
+			SeqWrite:    38600 * time.Nanosecond,
+		}
+	case SSD:
+		return CostModel{
+			RandomRead:  12500 * time.Nanosecond,
+			SeqRead:     7300 * time.Nanosecond,
+			RandomWrite: 25 * time.Microsecond, // flash write asymmetry
+			SeqWrite:    9 * time.Microsecond,
+		}
+	default: // Memory
+		return CostModel{
+			RandomRead:  100 * time.Nanosecond,
+			SeqRead:     100 * time.Nanosecond,
+			RandomWrite: 100 * time.Nanosecond,
+			SeqWrite:    100 * time.Nanosecond,
+		}
+	}
+}
+
+// MarketDevice is one point in the Figure 2 capacity/performance
+// landscape: a late-2013 storage device with its cost-normalized capacity
+// and advertised random-read performance.
+type MarketDevice struct {
+	Name       string
+	Class      string  // "E-HDD", "C-HDD", "E-SSD", "C-SSD"
+	GBPerUSD   float64 // capacity per dollar (x-axis of Fig 2)
+	RandomIOPS float64 // advertised 4 KB random read IOPS (y-axis)
+}
+
+// Figure2Devices reproduces the device landscape of Figure 2: two
+// enterprise and two consumer HDDs, four enterprise and two consumer
+// SSDs, with late-2013 street prices. The two technologies form the two
+// clusters the paper describes: HDDs cheap in capacity and one to four
+// orders of magnitude slower in random reads.
+func Figure2Devices() []MarketDevice {
+	return []MarketDevice{
+		{Name: "Seagate Cheetah 15K 600GB", Class: "E-HDD", GBPerUSD: 2.6, RandomIOPS: 400},
+		{Name: "WD RE4 2TB", Class: "E-HDD", GBPerUSD: 9.5, RandomIOPS: 200},
+		{Name: "Seagate Barracuda 3TB", Class: "C-HDD", GBPerUSD: 23.0, RandomIOPS: 120},
+		{Name: "WD Blue 1TB", Class: "C-HDD", GBPerUSD: 17.0, RandomIOPS: 100},
+		{Name: "Intel DC S3700 800GB", Class: "E-SSD", GBPerUSD: 0.43, RandomIOPS: 75000},
+		{Name: "OCZ Deneva 2C 480GB", Class: "E-SSD", GBPerUSD: 0.69, RandomIOPS: 80000},
+		{Name: "Samsung SM843T 480GB", Class: "E-SSD", GBPerUSD: 0.80, RandomIOPS: 70000},
+		{Name: "Toshiba PX02SM 400GB", Class: "E-SSD", GBPerUSD: 0.33, RandomIOPS: 120000},
+		{Name: "Samsung 840 EVO 500GB", Class: "C-SSD", GBPerUSD: 1.55, RandomIOPS: 98000},
+		{Name: "Crucial M500 480GB", Class: "C-SSD", GBPerUSD: 1.45, RandomIOPS: 80000},
+	}
+}

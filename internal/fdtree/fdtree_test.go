@@ -1,0 +1,228 @@
+package fdtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bftree/internal/bptree"
+	"bftree/internal/device"
+	"bftree/internal/pagestore"
+)
+
+func memStore() *pagestore.Store {
+	return pagestore.New(device.New(device.Memory, 4096))
+}
+
+func seqEntries(n int) []bptree.Entry {
+	out := make([]bptree.Entry, n)
+	for i := range out {
+		out[i] = bptree.Entry{Key: uint64(i), Ref: bptree.TupleRef{Page: device.PageID(i / 15), Slot: uint16(i % 15)}}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(memStore(), Options{HeadCapacity: 2}); err == nil {
+		t.Error("tiny head accepted")
+	}
+	if _, err := New(memStore(), Options{Ratio: 1}); err == nil {
+		t.Error("ratio 1 accepted")
+	}
+	tr, err := New(memStore(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.headCap != defaultHeadCap || tr.ratio != defaultRatio {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestBulkLoadSearch(t *testing.T) {
+	entries := seqEntries(100000)
+	tr, err := BulkLoad(memStore(), entries, Options{HeadCapacity: 256, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRecords() != 100000 {
+		t.Fatalf("records = %d", tr.NumRecords())
+	}
+	if tr.Levels() < 2 {
+		t.Errorf("levels = %d, want multi-level", tr.Levels())
+	}
+	for _, key := range []uint64{0, 1, 777, 50000, 99999} {
+		refs, stats, err := tr.Search(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refs) != 1 {
+			t.Fatalf("key %d: %d refs", key, len(refs))
+		}
+		if refs[0] != entries[key].Ref {
+			t.Fatalf("key %d: wrong ref", key)
+		}
+		// One page read per on-device level.
+		if stats.PagesRead > tr.Levels() {
+			t.Errorf("key %d: %d reads > %d levels", key, stats.PagesRead, tr.Levels())
+		}
+	}
+}
+
+func TestSearchMiss(t *testing.T) {
+	tr, err := BulkLoad(memStore(), seqEntries(10000), Options{HeadCapacity: 128, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, _, err := tr.Search(999999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 0 {
+		t.Error("absent key matched")
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	if _, err := BulkLoad(memStore(), nil, Options{}); err == nil {
+		t.Error("empty bulk load accepted")
+	}
+	bad := []bptree.Entry{{Key: 5}, {Key: 1}}
+	if _, err := BulkLoad(memStore(), bad, Options{}); err == nil {
+		t.Error("unsorted entries accepted")
+	}
+}
+
+func TestInsertAndCascade(t *testing.T) {
+	tr, err := New(memStore(), Options{HeadCapacity: 64, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	inserted := make(map[uint64]bptree.TupleRef)
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(1000000))
+		for _, dup := range []bool{inserted[k] != (bptree.TupleRef{})} {
+			if dup {
+				k++
+			}
+		}
+		ref := bptree.TupleRef{Page: device.PageID(i + 1), Slot: uint16(i % 9)}
+		if err := tr.Insert(k, ref); err != nil {
+			t.Fatal(err)
+		}
+		inserted[k] = ref
+	}
+	if tr.Levels() == 0 {
+		t.Error("inserts should have spilled to device levels")
+	}
+	checked := 0
+	for k, ref := range inserted {
+		refs, _, err := tr.Search(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range refs {
+			if r == ref {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("key %d lost after cascading merges", k)
+		}
+		checked++
+		if checked >= 500 {
+			break
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr, err := New(memStore(), Options{HeadCapacity: 64, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(42, bptree.TupleRef{Page: device.PageID(i), Slot: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs, _, err := tr.Search(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 10 {
+		t.Errorf("duplicates: %d of 10", len(refs))
+	}
+}
+
+func TestLevelGrowth(t *testing.T) {
+	tr, err := New(memStore(), Options{HeadCapacity: 32, Ratio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(uint64(i*7%100000), bptree.TupleRef{Page: device.PageID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Level sizes respect the logarithmic ratio: each level's capacity
+	// is ratio times the previous.
+	if tr.levelCapacity(2) != tr.levelCapacity(1)*2 {
+		t.Error("level capacities must follow the ratio")
+	}
+	if tr.Levels() < 3 {
+		t.Errorf("expected ≥3 levels after 2000 inserts at head 32, got %d", tr.Levels())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tr, err := BulkLoad(memStore(), seqEntries(50000), Options{HeadCapacity: 256, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SizeBytes() == 0 {
+		t.Error("bulk-loaded tree should have on-device pages")
+	}
+}
+
+func TestRunPageRoundTrip(t *testing.T) {
+	buf := make([]byte, 4096)
+	in := []entry{
+		{key: 0, kind: kindFence, next: 99},
+		{key: 5, kind: kindRecord, ref: bptree.TupleRef{Page: 7, Slot: 3}},
+	}
+	encodeRunPage(buf, in)
+	out, err := decodeRunPage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].next != 99 || out[1].ref.Page != 7 || out[1].ref.Slot != 3 {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if _, err := decodeRunPage(make([]byte, 64)); err == nil {
+		t.Error("zero page decoded")
+	}
+}
+
+// Property: FD-Tree search agrees with a reference map across random
+// insert batches.
+func TestQuickMatchesReference(t *testing.T) {
+	tr, err := New(memStore(), Options{HeadCapacity: 32, Ratio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint64]int)
+	prop := func(raw uint16) bool {
+		k := uint64(raw % 300)
+		if err := tr.Insert(k, bptree.TupleRef{Page: device.PageID(counts[k])}); err != nil {
+			return false
+		}
+		counts[k]++
+		refs, _, err := tr.Search(k)
+		return err == nil && len(refs) == counts[k]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package hashindex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bftree/internal/bptree"
+	"bftree/internal/device"
+)
+
+func TestInsertSearch(t *testing.T) {
+	idx := New(10)
+	idx.Insert(5, bptree.TupleRef{Page: 1, Slot: 2})
+	idx.Insert(5, bptree.TupleRef{Page: 1, Slot: 3})
+	idx.Insert(9, bptree.TupleRef{Page: 2, Slot: 0})
+	if got := idx.Search(5); len(got) != 2 {
+		t.Fatalf("key 5: %d refs", len(got))
+	}
+	if got := idx.Search(9); len(got) != 1 {
+		t.Fatalf("key 9: %d refs", len(got))
+	}
+	if got := idx.Search(100); got != nil {
+		t.Fatal("absent key should return nil")
+	}
+	if idx.NumEntries() != 3 || idx.NumKeys() != 2 {
+		t.Errorf("entries=%d keys=%d", idx.NumEntries(), idx.NumKeys())
+	}
+}
+
+func TestBuild(t *testing.T) {
+	entries := []bptree.Entry{
+		{Key: 1, Ref: bptree.TupleRef{Page: 1}},
+		{Key: 1, Ref: bptree.TupleRef{Page: 2}},
+		{Key: 2, Ref: bptree.TupleRef{Page: 3}},
+	}
+	idx := Build(entries)
+	if idx.NumEntries() != 3 || idx.NumKeys() != 2 {
+		t.Errorf("build: %s", idx)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	idx := New(4)
+	r1 := bptree.TupleRef{Page: 1, Slot: 1}
+	r2 := bptree.TupleRef{Page: 1, Slot: 2}
+	idx.Insert(7, r1)
+	idx.Insert(7, r2)
+	if !idx.Delete(7, r1) {
+		t.Fatal("delete of present mapping failed")
+	}
+	if idx.Delete(7, r1) {
+		t.Fatal("double delete should fail")
+	}
+	if got := idx.Search(7); len(got) != 1 || got[0] != r2 {
+		t.Fatal("remaining mapping wrong")
+	}
+	if !idx.Delete(7, r2) {
+		t.Fatal("delete of last mapping failed")
+	}
+	if idx.NumKeys() != 0 {
+		t.Error("empty bucket should be removed")
+	}
+	if idx.Delete(42, r1) {
+		t.Error("delete of absent key should fail")
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	small := New(1)
+	small.Insert(1, bptree.TupleRef{})
+	big := New(1)
+	for i := uint64(0); i < 1000; i++ {
+		big.Insert(i, bptree.TupleRef{})
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Error("size estimate should grow with keys")
+	}
+}
+
+// Property: the index agrees with a reference map under inserts and
+// deletes.
+func TestQuickMatchesReference(t *testing.T) {
+	idx := New(16)
+	ref := make(map[uint64]map[bptree.TupleRef]int)
+	prop := func(key uint64, page uint32, del bool) bool {
+		key %= 50
+		r := bptree.TupleRef{Page: device.PageID(page % 20), Slot: uint16(page % 7)}
+		if del {
+			present := ref[key] != nil && ref[key][r] > 0
+			got := idx.Delete(key, r)
+			if got != present {
+				return false
+			}
+			if present {
+				ref[key][r]--
+			}
+		} else {
+			idx.Insert(key, r)
+			if ref[key] == nil {
+				ref[key] = make(map[bptree.TupleRef]int)
+			}
+			ref[key][r]++
+		}
+		want := 0
+		for _, c := range ref[key] {
+			want += c
+		}
+		return len(idx.Search(key)) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

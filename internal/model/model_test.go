@@ -1,0 +1,209 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Figure4Params(0.01).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Figure4Params(0.01)
+	bad.PageSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero page size accepted")
+	}
+	bad = Figure4Params(0)
+	if err := bad.Validate(); err == nil {
+		t.Error("fpp 0 accepted")
+	}
+}
+
+func TestEquation2Fanout(t *testing.T) {
+	p := Figure4Params(0.01)
+	// 4096/(8+32) = 102.4
+	if got := p.Fanout(); math.Abs(got-102.4) > 0.01 {
+		t.Errorf("fanout = %g, want 102.4", got)
+	}
+}
+
+func TestEquations3And4(t *testing.T) {
+	p := Figure4Params(0.01)
+	// notuples = 2^30/256 = 4194304; leaves = 4194304·(32+8)/4096 = 40960.
+	if got := p.BPLeaves(); math.Abs(got-40960) > 1 {
+		t.Errorf("BPleaves = %g, want 40960", got)
+	}
+	// log_102.4(40960) = 2.29 → ceil+1 = 4.
+	if got := p.BPHeight(); got != 4 {
+		t.Errorf("BPh = %g, want 4", got)
+	}
+}
+
+func TestEquation5(t *testing.T) {
+	p := Figure4Params(1e-3)
+	// -4096·8·ln²2/ln(1e-3) = 32768·0.48045/6.9078 ≈ 2279.
+	if got := p.BFKeysPerPage(); math.Abs(got-2279) > 5 {
+		t.Errorf("BFkeysperpage = %g, want ≈2279", got)
+	}
+}
+
+func TestEquations6Through8(t *testing.T) {
+	p := Figure4Params(1e-3)
+	leaves := p.BFLeaves()
+	want := p.NoTuples / (p.AvgCard * p.BFKeysPerPage())
+	if math.Abs(leaves-want) > 1e-9 {
+		t.Errorf("BFleaves = %g, want %g", leaves, want)
+	}
+	if got := p.BFHeight(); got != 3 {
+		t.Errorf("BFh = %g, want 3 at fpp 1e-3", got)
+	}
+	// Equation 8: 2279·1·256/4096 ≈ 142 pages per leaf.
+	if got := p.BFPagesLeaf(); math.Abs(got-142) > 3 {
+		t.Errorf("BFpagesleaf = %g, want ≈142", got)
+	}
+}
+
+func TestSizesShrink(t *testing.T) {
+	p := Figure4Params(1e-3)
+	if p.BFSize() >= p.BPSize() {
+		t.Error("BF-Tree must be smaller than B+-Tree")
+	}
+	// Tighter fpp → larger BF-Tree.
+	tight := Figure4Params(1e-12)
+	if tight.BFSize() <= p.BFSize() {
+		t.Error("tighter fpp must grow the BF-Tree")
+	}
+	if p.CompressedBPSize(4) >= p.BPSize() {
+		t.Error("compressed B+-Tree must be smaller")
+	}
+}
+
+func TestFigure4aShape(t *testing.T) {
+	rows := Figure4([]float64{0.2, 0.01, 1e-3, 1e-6, 1e-8, 1e-12})
+	// Paper: BF-Tree beats B+-Tree for fpp <= 1e-3.
+	for _, r := range rows {
+		if r.FPP <= 1e-3 && r.BFCostRel > 1.0 {
+			t.Errorf("fpp=%g: BF cost rel %g, paper says <=1 for fpp<=1e-3", r.FPP, r.BFCostRel)
+		}
+	}
+	// SILT cached ≈5 % faster; uncached ≈32 % slower.
+	r := rows[1]
+	if r.SILTCachedRel > 0.97 || r.SILTCachedRel < 0.90 {
+		t.Errorf("SILT cached rel = %g, want ≈0.95", r.SILTCachedRel)
+	}
+	if r.SILTUncachedRel < 1.25 || r.SILTUncachedRel > 1.40 {
+		t.Errorf("SILT uncached rel = %g, want ≈1.32", r.SILTUncachedRel)
+	}
+	// FD-Tree with optimal k is competitive with BF-Tree (within a few
+	// percent of B+-Tree).
+	if r.FDTreeRel > 1.05 {
+		t.Errorf("FD-Tree rel = %g, should be near 1", r.FDTreeRel)
+	}
+}
+
+func TestFigure4bShape(t *testing.T) {
+	rows := Figure4([]float64{1e-3, 1e-8})
+	for _, r := range rows {
+		// SILT ≈28 % of B+-Tree.
+		if r.SILTSizeRel < 0.25 || r.SILTSizeRel > 0.31 {
+			t.Errorf("SILT size rel = %g, want ≈0.28", r.SILTSizeRel)
+		}
+		// FD-Tree same size as B+-Tree.
+		if math.Abs(r.FDTreeSizeRel-1) > 1e-9 {
+			t.Errorf("FD size rel = %g, want 1", r.FDTreeSizeRel)
+		}
+		// Compressed ≈10 %.
+		if r.CompressedBPRel < 0.05 || r.CompressedBPRel > 0.15 {
+			t.Errorf("compressed rel = %g, want ≈0.10", r.CompressedBPRel)
+		}
+	}
+	// Paper: BF-Tree size matches the compressed B+-Tree near fpp=1e-8.
+	r8 := rows[1]
+	if r8.BFSizeRel < r8.CompressedBPRel/2 || r8.BFSizeRel > r8.CompressedBPRel*2 {
+		t.Errorf("at fpp=1e-8 BF size rel %g should be near compressed %g",
+			r8.BFSizeRel, r8.CompressedBPRel)
+	}
+	// And far smaller at high fpp.
+	loose := Figure4([]float64{0.1})[0]
+	if loose.BFSizeRel > 0.02 {
+		t.Errorf("at fpp=0.1 BF size rel = %g, want <2%%", loose.BFSizeRel)
+	}
+}
+
+func TestBFCostComposition(t *testing.T) {
+	p := Figure4Params(0.01)
+	want := p.BFHeight()*p.IdxIO + p.MatchingPages()*p.DataIO + p.FPP*p.BFPagesLeaf()*p.SeqDtIO
+	if got := p.BFCost(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("BFCost = %g, want %g", got, want)
+	}
+}
+
+func TestEquation11MatchingPages(t *testing.T) {
+	p := Figure4Params(0.01)
+	if got := p.MatchingPages(); got != 1 {
+		t.Errorf("mP = %g, want 1 for avgcard 1", got)
+	}
+	p.AvgCard = 2400
+	p.TupleSize = 200
+	// 2400·200/4096 = 117.2 → 118.
+	if got := p.MatchingPages(); got != 118 {
+		t.Errorf("mP = %g, want 118 for the TPCH config", got)
+	}
+}
+
+func TestFDLevelsMonotone(t *testing.T) {
+	p := Figure4Params(0.01)
+	if p.FDLevels(4) < p.FDLevels(64) {
+		t.Error("larger ratio must not increase level count")
+	}
+	if p.FDLevels(1) != p.FDLevels(2) {
+		t.Error("ratio below 2 should clamp")
+	}
+	if p.FDCostOptimal() > p.FDCost(2) {
+		t.Error("optimal cost cannot exceed a specific ratio's cost")
+	}
+}
+
+func TestFigure14(t *testing.T) {
+	rows := Figure14([]float64{0, 0.01, 0.05, 0.10, 0.12, 1, 6})
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper's example: fpp=0.01 %, +1 % inserts → ≈0.011 %.
+	r := rows[1]
+	got := r.NewFPP[1e-4]
+	if got < 1.05e-4 || got > 1.2e-4 {
+		t.Errorf("drift(1e-4, 1%%) = %g, want ≈1.1e-4", got)
+	}
+	// Monotone in insert ratio for each initial fpp.
+	for _, f := range []float64{1e-4, 1e-3, 1e-2} {
+		prev := 0.0
+		for _, row := range rows {
+			if row.NewFPP[f] < prev {
+				t.Errorf("drift not monotone for %g", f)
+			}
+			prev = row.NewFPP[f]
+		}
+	}
+	// Long-run convergence towards 1.
+	if rows[6].NewFPP[1e-2] < 0.4 {
+		t.Errorf("drift(1e-2, 600%%) = %g, should head towards 1", rows[6].NewFPP[1e-2])
+	}
+}
+
+// Property: for any valid fpp, the BF-Tree is never larger than the
+// B+-Tree in the Figure 4 configuration, and cost decreases as fpp
+// decreases past the crossover.
+func TestQuickBFSizeAlwaysSmaller(t *testing.T) {
+	prop := func(raw uint16) bool {
+		exp := 1 + int(raw%14) // fpp from 1e-1 to 1e-14
+		fpp := math.Pow(10, -float64(exp))
+		p := Figure4Params(fpp)
+		return p.BFSize() < p.BPSize()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package pagestore layers page management over a simulated device: page
+// allocation, typed read/write, and an optional LRU buffer cache.
+//
+// The cache models the warm-cache experiments of the paper (Figures 7, 10
+// and 12b): with the cache enabled and pre-warmed, repeated accesses to
+// index pages above the leaves hit memory, so only leaf and data-page
+// accesses reach the device. With the cache disabled the store behaves
+// like the paper's O_DIRECT cold-cache runs, where every page access pays
+// device cost.
+package pagestore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"bftree/internal/device"
+)
+
+// Store provides cached page access on top of a device.
+type Store struct {
+	mu         sync.Mutex
+	dev        *device.Device
+	cache      *lruCache // nil when caching is disabled
+	pinnedOnly bool      // cache serves only explicitly Warmed pages
+
+	hits   uint64
+	misses uint64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithCache enables an LRU buffer cache of the given capacity in pages.
+// Capacity 0 disables caching (the cold-cache default).
+func WithCache(capacityPages int) Option {
+	return func(s *Store) {
+		if capacityPages > 0 {
+			s.cache = newLRUCache(capacityPages)
+		}
+	}
+}
+
+// WithPinnedCache enables a cache that serves only pages loaded through
+// Warm: ordinary reads never populate it. This models the paper's
+// warm-cache experiments, where the levels above the leaves are resident
+// but "only accessing the leaf node would cause an I/O" (Section 6.2) —
+// leaf and data accesses keep paying device cost on every probe.
+func WithPinnedCache(capacityPages int) Option {
+	return func(s *Store) {
+		if capacityPages > 0 {
+			s.cache = newLRUCache(capacityPages)
+			s.pinnedOnly = true
+		}
+	}
+}
+
+// New creates a store over dev. Without options the store is uncached:
+// every read and write goes to the device, as in the paper's cold-cache
+// O_DIRECT configuration.
+func New(dev *device.Device, opts ...Option) *Store {
+	s := &Store{dev: dev}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Device returns the underlying device (for stats access).
+func (s *Store) Device() *device.Device { return s.dev }
+
+// PageSize returns the page size in bytes.
+func (s *Store) PageSize() int { return s.dev.PageSize() }
+
+// Allocate appends n zeroed pages to the device and returns the first id.
+func (s *Store) Allocate(n int) device.PageID {
+	return s.dev.Allocate(n)
+}
+
+// ReadPage returns the contents of page id. The returned slice is a copy
+// owned by the caller. A cache hit costs no device I/O.
+func (s *Store) ReadPage(id device.PageID) ([]byte, error) {
+	s.mu.Lock()
+	if s.cache != nil {
+		if data, ok := s.cache.get(id); ok {
+			s.hits++
+			out := make([]byte, len(data))
+			copy(out, data)
+			s.mu.Unlock()
+			return out, nil
+		}
+		s.misses++
+	}
+	s.mu.Unlock()
+
+	buf := make([]byte, s.dev.PageSize())
+	if _, err := s.dev.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+
+	if s.cache != nil && !s.pinnedOnly {
+		s.mu.Lock()
+		s.cache.put(id, buf)
+		s.mu.Unlock()
+		out := make([]byte, len(buf))
+		copy(out, buf)
+		return out, nil
+	}
+	return buf, nil
+}
+
+// WritePage writes buf to page id, updating the cache (write-through).
+func (s *Store) WritePage(id device.PageID, buf []byte) error {
+	if err := s.dev.WritePage(id, buf); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.mu.Lock()
+		// A pinned-only cache must stay coherent for pages it already
+		// holds, but writes never admit new pages into it.
+		if !s.pinnedOnly || s.cache.contains(id) {
+			full := make([]byte, s.dev.PageSize())
+			copy(full, buf)
+			s.cache.put(id, full)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Warm pre-loads the given pages into the cache without charging device
+// cost, modelling the paper's warm-cache setup where the upper levels of
+// a tree are already resident after previous queries.
+func (s *Store) Warm(ids []device.PageID) error {
+	if s.cache == nil {
+		return fmt.Errorf("pagestore: Warm on an uncached store")
+	}
+	for _, id := range ids {
+		buf := make([]byte, s.dev.PageSize())
+		if _, err := s.dev.ReadPage(id, buf); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.cache.put(id, buf)
+		s.mu.Unlock()
+	}
+	// Warming is free: it models pages already resident, so refund the
+	// device cost it just charged.
+	s.dev.ResetStats()
+	return nil
+}
+
+// CacheStats reports cache hits and misses since creation.
+func (s *Store) CacheStats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Cached reports whether the store has a buffer cache.
+func (s *Store) Cached() bool { return s.cache != nil }
+
+// DropCache empties the buffer cache (keeps it enabled).
+func (s *Store) DropCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache != nil {
+		s.cache.drop()
+	}
+}
+
+// lruCache is a classic LRU page cache. Callers hold the store lock.
+type lruCache struct {
+	capacity int
+	ll       *list.List // front = most recent; values are *cacheEntry
+	index    map[device.PageID]*list.Element
+}
+
+type cacheEntry struct {
+	id   device.PageID
+	data []byte
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[device.PageID]*list.Element),
+	}
+}
+
+func (c *lruCache) get(id device.PageID) ([]byte, bool) {
+	el, ok := c.index[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+func (c *lruCache) put(id device.PageID, data []byte) {
+	if el, ok := c.index[id]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{id: id, data: data})
+	c.index[id] = el
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*cacheEntry).id)
+	}
+}
+
+func (c *lruCache) contains(id device.PageID) bool {
+	_, ok := c.index[id]
+	return ok
+}
+
+func (c *lruCache) drop() {
+	c.ll.Init()
+	c.index = make(map[device.PageID]*list.Element)
+}

@@ -1,0 +1,274 @@
+package pagestore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bftree/internal/device"
+)
+
+func newMemStore(pages int, opts ...Option) *Store {
+	dev := device.New(device.Memory, 256)
+	dev.Allocate(pages)
+	return New(dev, opts...)
+}
+
+func TestUncachedReadWrite(t *testing.T) {
+	s := newMemStore(4)
+	payload := make([]byte, 256)
+	payload[0] = 42
+	if err := s.WritePage(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("read back %d, want 42", got[0])
+	}
+	if s.Cached() {
+		t.Error("store without options must be uncached")
+	}
+	// Every read hits the device.
+	s.ReadPage(1)
+	s.ReadPage(1)
+	if reads := s.Device().Stats().Reads(); reads != 3 {
+		t.Errorf("uncached store did %d device reads, want 3", reads)
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	s := newMemStore(4, WithCache(4))
+	payload := make([]byte, 256)
+	payload[5] = 7
+	if err := s.WritePage(2, payload); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Device().Stats().Reads()
+	for i := 0; i < 10; i++ {
+		got, err := s.ReadPage(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[5] != 7 {
+			t.Fatal("cache returned wrong data")
+		}
+	}
+	if after := s.Device().Stats().Reads(); after != before {
+		t.Errorf("cached reads reached the device: %d -> %d", before, after)
+	}
+	hits, misses := s.CacheStats()
+	if hits != 10 || misses != 0 {
+		t.Errorf("hits=%d misses=%d, want 10/0 (write-through warms the cache)", hits, misses)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s := newMemStore(10, WithCache(2))
+	// Touch pages 0,1,2: capacity 2 means page 0 is evicted.
+	for _, id := range []device.PageID{0, 1, 2} {
+		if _, err := s.ReadPage(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Device().Stats().Reads()
+	s.ReadPage(2) // hit
+	s.ReadPage(1) // hit
+	if got := s.Device().Stats().Reads(); got != before {
+		t.Error("recently used pages should be cached")
+	}
+	s.ReadPage(0) // miss: evicted
+	if got := s.Device().Stats().Reads(); got != before+1 {
+		t.Error("evicted page should cause a device read")
+	}
+}
+
+func TestLRUOrderOnGet(t *testing.T) {
+	s := newMemStore(10, WithCache(2))
+	s.ReadPage(0)
+	s.ReadPage(1)
+	s.ReadPage(0) // refresh 0; LRU victim is now 1
+	s.ReadPage(2) // evicts 1
+	before := s.Device().Stats().Reads()
+	s.ReadPage(0)
+	if got := s.Device().Stats().Reads(); got != before {
+		t.Error("page 0 should have been refreshed by the get")
+	}
+	s.ReadPage(1)
+	if got := s.Device().Stats().Reads(); got != before+1 {
+		t.Error("page 1 should have been the eviction victim")
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	s := newMemStore(2, WithCache(2))
+	payload := make([]byte, 256)
+	payload[0] = 1
+	s.WritePage(0, payload)
+	a, _ := s.ReadPage(0)
+	a[0] = 99 // mutate the caller's copy
+	b, _ := s.ReadPage(0)
+	if b[0] != 1 {
+		t.Error("mutating a returned page must not corrupt the cache")
+	}
+}
+
+func TestWarm(t *testing.T) {
+	s := newMemStore(8, WithCache(8))
+	payload := make([]byte, 256)
+	payload[0] = 9
+	s.WritePage(3, payload)
+	s.DropCache()
+	s.Device().ResetStats()
+	if err := s.Warm([]device.PageID{3}); err != nil {
+		t.Fatal(err)
+	}
+	if reads := s.Device().Stats().Reads(); reads != 0 {
+		t.Errorf("warming must be free, charged %d reads", reads)
+	}
+	got, err := s.ReadPage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Error("warmed page content wrong")
+	}
+	if reads := s.Device().Stats().Reads(); reads != 0 {
+		t.Error("read of a warmed page should not touch the device")
+	}
+}
+
+func TestWarmUncachedFails(t *testing.T) {
+	s := newMemStore(2)
+	if err := s.Warm([]device.PageID{0}); err == nil {
+		t.Error("Warm on an uncached store should fail")
+	}
+}
+
+func TestWarmBadPage(t *testing.T) {
+	s := newMemStore(2, WithCache(2))
+	if err := s.Warm([]device.PageID{100}); err == nil {
+		t.Error("warming an unallocated page should fail")
+	}
+}
+
+func TestDropCache(t *testing.T) {
+	s := newMemStore(4, WithCache(4))
+	s.ReadPage(0)
+	s.DropCache()
+	before := s.Device().Stats().Reads()
+	s.ReadPage(0)
+	if got := s.Device().Stats().Reads(); got != before+1 {
+		t.Error("dropped page should re-read from device")
+	}
+	// DropCache on an uncached store is a no-op.
+	u := newMemStore(1)
+	u.DropCache()
+}
+
+func TestAllocateThroughStore(t *testing.T) {
+	dev := device.New(device.Memory, 128)
+	s := New(dev)
+	id := s.Allocate(5)
+	if id != 0 || dev.NumPages() != 5 {
+		t.Errorf("allocate through store: first=%d pages=%d", id, dev.NumPages())
+	}
+	if s.PageSize() != 128 {
+		t.Errorf("page size = %d", s.PageSize())
+	}
+}
+
+func TestReadErrorsPropagate(t *testing.T) {
+	s := newMemStore(1, WithCache(2))
+	if _, err := s.ReadPage(9); err == nil {
+		t.Error("out-of-range read should propagate the device error")
+	}
+	if err := s.WritePage(9, make([]byte, 256)); err == nil {
+		t.Error("out-of-range write should propagate the device error")
+	}
+}
+
+// Property: cached and uncached stores return identical data for any
+// write/read interleaving.
+func TestQuickCacheTransparency(t *testing.T) {
+	cached := newMemStore(8, WithCache(3))
+	plain := newMemStore(8)
+	prop := func(page, val uint8) bool {
+		id := device.PageID(page % 8)
+		payload := make([]byte, 256)
+		payload[0] = val
+		if err := cached.WritePage(id, payload); err != nil {
+			return false
+		}
+		if err := plain.WritePage(id, payload); err != nil {
+			return false
+		}
+		a, err1 := cached.ReadPage(id)
+		b, err2 := plain.ReadPage(id)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinnedCacheServesOnlyWarmedPages(t *testing.T) {
+	s := newMemStore(8, WithPinnedCache(8))
+	payload := make([]byte, 256)
+	payload[0] = 5
+	s.WritePage(2, payload)
+	s.WritePage(3, payload)
+	if err := s.Warm([]device.PageID{2}); err != nil {
+		t.Fatal(err)
+	}
+	// Warmed page: no device I/O.
+	s.ReadPage(2)
+	if reads := s.Device().Stats().Reads(); reads != 0 {
+		t.Errorf("warmed page charged %d reads", reads)
+	}
+	// Unwarmed page: pays device I/O every time (never admitted).
+	s.ReadPage(3)
+	s.ReadPage(3)
+	if reads := s.Device().Stats().Reads(); reads != 2 {
+		t.Errorf("unwarmed page reads = %d, want 2", reads)
+	}
+}
+
+func TestPinnedCacheWriteCoherence(t *testing.T) {
+	s := newMemStore(4, WithPinnedCache(4))
+	old := make([]byte, 256)
+	old[0] = 1
+	s.WritePage(0, old)
+	if err := s.Warm([]device.PageID{0}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a warmed page: the pinned copy must update.
+	updated := make([]byte, 256)
+	updated[0] = 9
+	s.WritePage(0, updated)
+	got, err := s.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Errorf("pinned cache served stale data: %d", got[0])
+	}
+	if reads := s.Device().Stats().Reads(); reads != 0 {
+		t.Error("warmed page should still be served from cache after write")
+	}
+	// Writes to unwarmed pages must not populate the cache.
+	s.WritePage(1, updated)
+	s.ReadPage(1)
+	if reads := s.Device().Stats().Reads(); reads != 1 {
+		t.Error("write admitted an unwarmed page into a pinned cache")
+	}
+}

@@ -1,0 +1,193 @@
+// Package sortedsearch implements index-free access paths over a sorted
+// heap file: binary search and interpolation search. Section 5 and
+// Section 7 of the paper position these as the alternatives to indexing
+// when data is fully sorted — binary search costs log2(N) page reads,
+// interpolation search log(log(N)) for uniformly distributed keys — and
+// note that BF-Trees remain applicable when data is merely partitioned,
+// where neither algorithm works.
+package sortedsearch
+
+import (
+	"fmt"
+
+	"bftree/internal/device"
+	"bftree/internal/heapfile"
+)
+
+// Result is the outcome of a search: the matching tuples (copies) and the
+// number of data pages read to find them.
+type Result struct {
+	Tuples    [][]byte
+	PagesRead int
+}
+
+// pageMinKey reads the first tuple's key of page id, charging one page
+// read.
+func pageMinKey(f *heapfile.File, fieldIdx int, id device.PageID) (uint64, error) {
+	tuples, err := f.ReadPageTuples(id)
+	if err != nil {
+		return 0, err
+	}
+	if len(tuples) == 0 {
+		return 0, fmt.Errorf("sortedsearch: empty page %d", id)
+	}
+	return f.Schema().Get(tuples[0], fieldIdx), nil
+}
+
+// collectMatches gathers every tuple equal to key starting at page id,
+// following subsequent pages while they keep matching (duplicates may
+// cross page boundaries in a sorted file).
+func collectMatches(f *heapfile.File, fieldIdx int, id device.PageID, key uint64, res *Result) error {
+	last := f.FirstPage() + device.PageID(f.NumPages()) - 1
+	for pid := id; pid <= last; pid++ {
+		tuples, err := f.ReadPageTuples(pid)
+		if err != nil {
+			return err
+		}
+		if pid != id {
+			res.PagesRead++
+		}
+		matchedHere := false
+		done := false
+		for _, tup := range tuples {
+			k := f.Schema().Get(tup, fieldIdx)
+			if k == key {
+				cp := make([]byte, len(tup))
+				copy(cp, tup)
+				res.Tuples = append(res.Tuples, cp)
+				matchedHere = true
+			} else if k > key {
+				done = true
+				break
+			}
+		}
+		if done || (!matchedHere && pid > id) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Binary locates key in a file sorted on field fieldIdx using binary
+// search over pages, reading one page per probe. It returns all matching
+// tuples.
+func Binary(f *heapfile.File, fieldIdx int, key uint64) (*Result, error) {
+	res := &Result{}
+	lo, hi := uint64(0), f.NumPages() // search page ordinals [lo, hi)
+	// Find the first page whose min key is >= key; duplicates of key can
+	// begin at most one page earlier (mid-page on the preceding page).
+	for lo < hi {
+		mid := (lo + hi) / 2
+		minKey, err := pageMinKey(f, fieldIdx, f.FirstPage()+device.PageID(mid))
+		if err != nil {
+			return nil, err
+		}
+		res.PagesRead++
+		if minKey >= key {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	startOrdinal := uint64(0)
+	if lo > 0 {
+		startOrdinal = lo - 1
+	}
+	start := f.FirstPage() + device.PageID(startOrdinal)
+	res.PagesRead++
+	if err := collectMatches(f, fieldIdx, start, key, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Interpolation locates key in a file sorted on field fieldIdx using
+// interpolation search over pages: each probe guesses the target page
+// from the key's position within the remaining key range, converging in
+// log(log(N)) probes for evenly distributed keys (Perl, Itai & Avni,
+// cited as [36] in the paper). Falls back to bisection when the estimate
+// stalls, bounding the worst case at binary search.
+func Interpolation(f *heapfile.File, fieldIdx int, key uint64) (*Result, error) {
+	res := &Result{}
+	loPage, hiPage := uint64(0), f.NumPages()-1
+	loKey, err := pageMinKey(f, fieldIdx, f.FirstPage())
+	if err != nil {
+		return nil, err
+	}
+	res.PagesRead++
+	// Highest key: max of the last page.
+	_, hiKey, err := f.PageKeyRange(f.FirstPage()+device.PageID(hiPage), fieldIdx)
+	if err != nil {
+		return nil, err
+	}
+	res.PagesRead++
+	if key < loKey || key > hiKey {
+		return res, nil
+	}
+	for loPage < hiPage {
+		var guess uint64
+		if hiKey > loKey {
+			span := float64(hiPage - loPage)
+			frac := float64(key-loKey) / float64(hiKey-loKey)
+			guess = loPage + uint64(frac*span)
+		} else {
+			guess = (loPage + hiPage) / 2
+		}
+		if guess <= loPage {
+			guess = loPage + 1
+		}
+		if guess > hiPage {
+			guess = hiPage
+		}
+		minKey, err := pageMinKey(f, fieldIdx, f.FirstPage()+device.PageID(guess))
+		if err != nil {
+			return nil, err
+		}
+		res.PagesRead++
+		if minKey > key {
+			hiPage = guess - 1
+			hiKey = minKey
+		} else {
+			loPage = guess
+			loKey = minKey
+			if minKey == key {
+				break
+			}
+			// Check whether the key can still be on a later page; if the
+			// next page's min exceeds key we are done positioning.
+			if guess == hiPage {
+				break
+			}
+			nextMin, err := pageMinKey(f, fieldIdx, f.FirstPage()+device.PageID(guess+1))
+			if err != nil {
+				return nil, err
+			}
+			res.PagesRead++
+			if nextMin > key {
+				break
+			}
+			loPage = guess + 1
+			loKey = nextMin
+		}
+	}
+	// Back up to the first page that can hold the key: duplicates may
+	// extend left across whole pages (minKey == key). Walking back costs
+	// at most one read per duplicate-filled page, no more than collecting
+	// those duplicates costs anyway.
+	start := loPage
+	for start > 0 {
+		minKey, err := pageMinKey(f, fieldIdx, f.FirstPage()+device.PageID(start))
+		if err != nil {
+			return nil, err
+		}
+		res.PagesRead++
+		if minKey < key {
+			break
+		}
+		start--
+	}
+	if err := collectMatches(f, fieldIdx, f.FirstPage()+device.PageID(start), key, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

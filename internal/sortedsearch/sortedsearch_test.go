@@ -1,0 +1,212 @@
+package sortedsearch
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bftree/internal/device"
+	"bftree/internal/heapfile"
+	"bftree/internal/pagestore"
+)
+
+var schema = heapfile.Schema{
+	TupleSize: 64,
+	Fields:    []heapfile.Field{{Name: "k", Offset: 0}},
+}
+
+// buildSorted creates a file of n tuples with keys k(i); keys must be
+// nondecreasing in i.
+func buildSorted(t *testing.T, n int, k func(i int) uint64) *heapfile.File {
+	t.Helper()
+	store := pagestore.New(device.New(device.Memory, 1024))
+	b, err := heapfile.NewBuilder(store, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(tup[:8], k(i))
+		if err := b.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBinaryFindsUniqueKeys(t *testing.T) {
+	f := buildSorted(t, 5000, func(i int) uint64 { return uint64(i) })
+	for _, key := range []uint64{0, 1, 14, 15, 2500, 4999} {
+		res, err := Binary(f, 0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != 1 {
+			t.Fatalf("key %d: %d matches", key, len(res.Tuples))
+		}
+		if got := schema.Get(res.Tuples[0], 0); got != key {
+			t.Fatalf("key %d: got %d", key, got)
+		}
+	}
+}
+
+func TestBinaryMisses(t *testing.T) {
+	f := buildSorted(t, 1000, func(i int) uint64 { return uint64(i) * 2 })
+	res, err := Binary(f, 0, 501) // odd → absent
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Fatal("absent key matched")
+	}
+	// Below the first key.
+	res, err = Binary(f, 0, 0) // first key is 0 → present
+	if err != nil || len(res.Tuples) != 1 {
+		t.Fatal("key 0 should match")
+	}
+	// Above the last key.
+	res, err = Binary(f, 0, 99999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Fatal("key above range matched")
+	}
+}
+
+func TestBinaryLogarithmicPageReads(t *testing.T) {
+	const n = 100000 // 15 tuples/page at 1 KB → 6667 pages
+	f := buildSorted(t, n, func(i int) uint64 { return uint64(i) })
+	res, err := Binary(f, 0, 54321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := int(math.Ceil(math.Log2(float64(f.NumPages())))) + 3
+	if res.PagesRead > bound {
+		t.Errorf("binary search read %d pages, bound %d", res.PagesRead, bound)
+	}
+}
+
+func TestBinaryDuplicatesAcrossPages(t *testing.T) {
+	// 40 duplicates of key 7 span multiple 15-tuple pages.
+	f := buildSorted(t, 200, func(i int) uint64 {
+		switch {
+		case i < 80:
+			return uint64(i / 40) // keys 0,1
+		case i < 120:
+			return 7
+		default:
+			return uint64(100 + i)
+		}
+	})
+	res, err := Binary(f, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 40 {
+		t.Fatalf("found %d duplicates, want 40", len(res.Tuples))
+	}
+}
+
+func TestInterpolationUniform(t *testing.T) {
+	const n = 100000
+	f := buildSorted(t, n, func(i int) uint64 { return uint64(i) })
+	var worst int
+	for _, key := range []uint64{3, 1234, 50000, 99998} {
+		res, err := Interpolation(f, 0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != 1 || schema.Get(res.Tuples[0], 0) != key {
+			t.Fatalf("key %d: %d matches", key, len(res.Tuples))
+		}
+		if res.PagesRead > worst {
+			worst = res.PagesRead
+		}
+	}
+	// log2(log2(6667 pages)) ≈ 3.7; interpolation on uniform keys should
+	// use far fewer probes than binary search's ~13.
+	if worst > 10 {
+		t.Errorf("interpolation read %d pages on uniform data", worst)
+	}
+}
+
+func TestInterpolationOutOfRange(t *testing.T) {
+	f := buildSorted(t, 1000, func(i int) uint64 { return 100 + uint64(i) })
+	res, err := Interpolation(f, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Fatal("key below range matched")
+	}
+	res, err = Interpolation(f, 0, 99999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Fatal("key above range matched")
+	}
+}
+
+func TestInterpolationSkewed(t *testing.T) {
+	// Quadratic keys break the uniformity assumption; the bisection
+	// fallback must still find every key.
+	const n = 20000
+	f := buildSorted(t, n, func(i int) uint64 { return uint64(i) * uint64(i) })
+	for _, i := range []int{0, 1, 100, 4321, 19999} {
+		key := uint64(i) * uint64(i)
+		res, err := Interpolation(f, 0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) == 0 {
+			t.Fatalf("key %d not found in skewed data", key)
+		}
+	}
+}
+
+func TestInterpolationConstantFile(t *testing.T) {
+	f := buildSorted(t, 1000, func(i int) uint64 { return 42 })
+	res, err := Interpolation(f, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1000 {
+		t.Fatalf("constant file: %d matches, want 1000", len(res.Tuples))
+	}
+}
+
+// Property: binary and interpolation search agree with a linear scan.
+func TestQuickSearchesAgree(t *testing.T) {
+	const n = 3000
+	f := buildSorted(t, n, func(i int) uint64 { return uint64(i/3) * 5 })
+	countKey := func(key uint64) int {
+		c := 0
+		f.Scan(func(_ device.PageID, _ int, tup []byte) bool {
+			if schema.Get(tup, 0) == key {
+				c++
+			}
+			return true
+		})
+		return c
+	}
+	prop := func(raw uint16) bool {
+		key := uint64(raw % 6000)
+		want := countKey(key)
+		b, err := Binary(f, 0, key)
+		if err != nil || len(b.Tuples) != want {
+			return false
+		}
+		ip, err := Interpolation(f, 0, key)
+		return err == nil && len(ip.Tuples) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ProbeSet is a stream of search keys with a known hit rate, used to
+// drive index-probe experiments. The paper uses 1000 random-key probes
+// per measurement, the same key set across every configuration (§6.1),
+// and varies the hit rate in the TPCH experiment (Figure 11).
+type ProbeSet struct {
+	Keys    []uint64
+	HitRate float64 // fraction of keys that exist in the indexed relation
+}
+
+// MakeProbes builds n probe keys: a hitRate fraction drawn uniformly from
+// existing (present in the relation), the rest drawn from absent keys.
+// Both pools must be non-empty unless their share is zero.
+func MakeProbes(n int, hitRate float64, existing, absent []uint64, seed int64) (*ProbeSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need at least one probe")
+	}
+	if hitRate < 0 || hitRate > 1 {
+		return nil, fmt.Errorf("workload: hit rate %g out of [0,1]", hitRate)
+	}
+	if hitRate > 0 && len(existing) == 0 {
+		return nil, fmt.Errorf("workload: hit rate %g requires existing keys", hitRate)
+	}
+	if hitRate < 1 && len(absent) == 0 {
+		return nil, fmt.Errorf("workload: hit rate %g requires absent keys", hitRate)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	hits := int(float64(n)*hitRate + 0.5)
+	for i := 0; i < hits; i++ {
+		keys[i] = existing[rng.Intn(len(existing))]
+	}
+	for i := hits; i < n; i++ {
+		keys[i] = absent[rng.Intn(len(absent))]
+	}
+	rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	return &ProbeSet{Keys: keys, HitRate: float64(hits) / float64(n)}, nil
+}
+
+// AbsentKeys returns up to n keys that are guaranteed absent from a dense
+// key domain [lo, hi]: it returns keys above hi.
+func AbsentKeys(hi uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = hi + 2 + uint64(i)*7
+	}
+	return out
+}
+
+// AbsentWithin returns up to n keys within [lo, hi] that do not occur in
+// the sorted slice present. It is used for hit-rate experiments where
+// misses must still land inside the indexed key range (so the index
+// cannot reject them from the root's min/max alone).
+func AbsentWithin(lo, hi uint64, present []uint64, n int) []uint64 {
+	sorted := make([]uint64, len(present))
+	copy(sorted, present)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []uint64
+	for k := lo; k <= hi && len(out) < n; k++ {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= k })
+		if i == len(sorted) || sorted[i] != k {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// UniqueKeys deduplicates and sorts a key slice.
+func UniqueKeys(keys []uint64) []uint64 {
+	sorted := make([]uint64, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	for i, k := range sorted {
+		if i == 0 || k != sorted[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}

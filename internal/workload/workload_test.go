@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"testing"
+
+	"bftree/internal/device"
+	"bftree/internal/pagestore"
+)
+
+func memStore() *pagestore.Store {
+	return pagestore.New(device.New(device.Memory, 4096))
+}
+
+func TestGenerateSyntheticOrderedPK(t *testing.T) {
+	syn, err := GenerateSynthetic(memStore(), 10000, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.File.NumTuples() != 10000 {
+		t.Fatalf("tuples = %d", syn.File.NumTuples())
+	}
+	// PK must be the ordinal: dense, unique, ordered.
+	var next uint64
+	syn.File.Scan(func(_ device.PageID, _ int, tup []byte) bool {
+		if SyntheticSchema.Get(tup, 0) != next {
+			t.Fatalf("pk at ordinal %d is %d", next, SyntheticSchema.Get(tup, 0))
+		}
+		next++
+		return true
+	})
+	if syn.MaxPK != 9999 {
+		t.Errorf("MaxPK = %d", syn.MaxPK)
+	}
+}
+
+func TestGenerateSyntheticATT1Cardinality(t *testing.T) {
+	syn, err := GenerateSynthetic(memStore(), 110000, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average cardinality should be near 11 (paper's value).
+	avg := float64(syn.File.NumTuples()) / float64(syn.NumKeys)
+	if avg < 9 || avg > 13 {
+		t.Errorf("ATT1 average cardinality = %g, want ≈11", avg)
+	}
+	// ATT1 must be nondecreasing (ordered attribute).
+	var prev uint64
+	syn.File.Scan(func(_ device.PageID, _ int, tup []byte) bool {
+		v := SyntheticSchema.Get(tup, 1)
+		if v < prev {
+			t.Fatalf("ATT1 decreased: %d after %d", v, prev)
+		}
+		prev = v
+		return true
+	})
+	// Distinct values recorded match the file contents.
+	if uint64(len(syn.ATT1Keys)) != syn.NumKeys {
+		t.Error("ATT1Keys length mismatch")
+	}
+}
+
+func TestGenerateSyntheticDeterministic(t *testing.T) {
+	a, err := GenerateSynthetic(memStore(), 5000, 11, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSynthetic(memStore(), 5000, 11, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumKeys != b.NumKeys {
+		t.Error("same seed must give same key count")
+	}
+	c, err := GenerateSynthetic(memStore(), 5000, 11, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumKeys == c.NumKeys {
+		t.Log("different seeds gave same key count (possible but unlikely)")
+	}
+}
+
+func TestGenerateSyntheticErrors(t *testing.T) {
+	if _, err := GenerateSynthetic(memStore(), 0, 11, 1); err == nil {
+		t.Error("empty relation should fail")
+	}
+	// avgCard < 1 is clamped, not an error.
+	syn, err := GenerateSynthetic(memStore(), 100, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumKeys == 0 {
+		t.Error("clamped cardinality should still generate keys")
+	}
+}
+
+func TestGenerateTPCHOrderedShipdate(t *testing.T) {
+	tp, err := GenerateTPCH(memStore(), 50000, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.File.NumTuples() != 50000 {
+		t.Fatalf("tuples = %d", tp.File.NumTuples())
+	}
+	var prev uint64
+	tp.File.Scan(func(_ device.PageID, _ int, tup []byte) bool {
+		ship := TPCHSchema.Get(tup, 1)
+		if ship < prev {
+			t.Fatalf("shipdate decreased: %d after %d", ship, prev)
+		}
+		prev = ship
+		// The three dates are correlated: commit within 30 days before
+		// ship, receipt within 30 days after (implicit clustering).
+		commit := TPCHSchema.Get(tup, 2)
+		receipt := TPCHSchema.Get(tup, 3)
+		if commit > ship || ship-commit > 30 {
+			t.Fatalf("commitdate %d not within 30 days of shipdate %d", commit, ship)
+		}
+		if receipt <= ship || receipt-ship > 31 {
+			t.Fatalf("receiptdate %d not within (0,31] days after shipdate %d", receipt, ship)
+		}
+		return true
+	})
+	// ~2400 paper cardinality scaled: 50000/100 = 500 mean.
+	var total uint64
+	for _, c := range tp.DateCards {
+		total += c
+	}
+	if total != 50000 {
+		t.Errorf("cardinalities sum to %d", total)
+	}
+	mean := float64(total) / float64(len(tp.DateCards))
+	if mean < 350 || mean > 700 {
+		t.Errorf("mean date cardinality %g far from target 500", mean)
+	}
+}
+
+func TestGenerateTPCHErrors(t *testing.T) {
+	if _, err := GenerateTPCH(memStore(), 0, 10, 1); err == nil {
+		t.Error("zero tuples should fail")
+	}
+	if _, err := GenerateTPCH(memStore(), 100, 0, 1); err == nil {
+		t.Error("zero dates should fail")
+	}
+}
+
+func TestGenerateTPCHSmallerThanDates(t *testing.T) {
+	tp, err := GenerateTPCH(memStore(), 10, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.File.NumTuples() != 10 {
+		t.Errorf("tuples = %d, want 10", tp.File.NumTuples())
+	}
+}
+
+func TestGenerateSHDStatistics(t *testing.T) {
+	shd, err := GenerateSHD(memStore(), 200000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shd.File.NumTuples() != 200000 {
+		t.Fatalf("tuples = %d", shd.File.NumTuples())
+	}
+	// Paper statistics: mean ≈52, min ≥21 (except a possibly truncated
+	// final timestamp), max ≤8295, 99.7 % ≤126.
+	if shd.MeanCard < 35 || shd.MeanCard > 75 {
+		t.Errorf("mean cardinality %g, want ≈52", shd.MeanCard)
+	}
+	within126 := 0
+	total := 0
+	truncatedOK := 0
+	for _, c := range shd.Cards {
+		total++
+		if c <= 126 {
+			within126++
+		}
+		if c > 8295 {
+			t.Fatalf("cardinality %d exceeds paper max 8295", c)
+		}
+		if c < 21 {
+			truncatedOK++ // only the final timestamp may be short
+		}
+	}
+	if truncatedOK > 1 {
+		t.Errorf("%d timestamps below min cardinality 21", truncatedOK)
+	}
+	frac := float64(within126) / float64(total)
+	if frac < 0.98 {
+		t.Errorf("fraction ≤126 = %g, want ≥0.98 (paper: 0.997)", frac)
+	}
+	// Timestamps strictly increase across groups (ordered attribute).
+	var prev uint64
+	shd.File.Scan(func(_ device.PageID, _ int, tup []byte) bool {
+		ts := SHDSchema.Get(tup, 0)
+		if ts < prev {
+			t.Fatalf("timestamp decreased")
+		}
+		prev = ts
+		return true
+	})
+}
+
+func TestGenerateSHDEnergyMonotonePerClient(t *testing.T) {
+	shd, err := GenerateSHD(memStore(), 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[uint64]uint64)
+	shd.File.Scan(func(_ device.PageID, _ int, tup []byte) bool {
+		client := SHDSchema.Get(tup, 1)
+		energy := SHDSchema.Get(tup, 2)
+		if energy < last[client] {
+			t.Fatalf("aggregate energy decreased for client %d", client)
+		}
+		last[client] = energy
+		return true
+	})
+}
+
+func TestGenerateSHDErrors(t *testing.T) {
+	if _, err := GenerateSHD(memStore(), 0, 1); err == nil {
+		t.Error("empty SHD should fail")
+	}
+}
+
+func TestMakeProbesHitRate(t *testing.T) {
+	existing := []uint64{1, 2, 3, 4, 5}
+	absent := []uint64{100, 200}
+	ps, err := MakeProbes(1000, 0.3, existing, absent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	in := map[uint64]bool{1: true, 2: true, 3: true, 4: true, 5: true}
+	for _, k := range ps.Keys {
+		if in[k] {
+			hits++
+		}
+	}
+	if hits != 300 {
+		t.Errorf("hits = %d, want 300", hits)
+	}
+	if ps.HitRate != 0.3 {
+		t.Errorf("recorded hit rate %g", ps.HitRate)
+	}
+}
+
+func TestMakeProbesEdges(t *testing.T) {
+	existing := []uint64{1}
+	absent := []uint64{9}
+	if _, err := MakeProbes(0, 0.5, existing, absent, 1); err == nil {
+		t.Error("zero probes should fail")
+	}
+	if _, err := MakeProbes(10, -0.1, existing, absent, 1); err == nil {
+		t.Error("negative hit rate should fail")
+	}
+	if _, err := MakeProbes(10, 0.5, nil, absent, 1); err == nil {
+		t.Error("missing existing pool should fail")
+	}
+	if _, err := MakeProbes(10, 0.5, existing, nil, 1); err == nil {
+		t.Error("missing absent pool should fail")
+	}
+	// Pure hit and pure miss work with a single pool.
+	if _, err := MakeProbes(10, 1, existing, nil, 1); err != nil {
+		t.Errorf("pure hits: %v", err)
+	}
+	if _, err := MakeProbes(10, 0, nil, absent, 1); err != nil {
+		t.Errorf("pure misses: %v", err)
+	}
+}
+
+func TestAbsentKeys(t *testing.T) {
+	keys := AbsentKeys(100, 5)
+	if len(keys) != 5 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for _, k := range keys {
+		if k <= 101 {
+			t.Errorf("absent key %d not above hi+1", k)
+		}
+	}
+}
+
+func TestAbsentWithin(t *testing.T) {
+	present := []uint64{2, 4, 6, 8}
+	absent := AbsentWithin(1, 9, present, 10)
+	want := map[uint64]bool{1: true, 3: true, 5: true, 7: true, 9: true}
+	if len(absent) != 5 {
+		t.Fatalf("got %d absent keys: %v", len(absent), absent)
+	}
+	for _, k := range absent {
+		if !want[k] {
+			t.Errorf("key %d is not absent", k)
+		}
+	}
+}
+
+func TestUniqueKeys(t *testing.T) {
+	got := UniqueKeys([]uint64{5, 1, 5, 3, 1})
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("UniqueKeys = %v", got)
+	}
+}
