@@ -1,0 +1,53 @@
+# BF-Tree — build, test and benchmark targets mirroring CI
+# (.github/workflows/ci.yml). `make ci` runs the full gate locally.
+
+GO ?= go
+
+# Packages with concurrency-sensitive code; `make race` and CI run these
+# under the race detector.
+RACE_PKGS := ./internal/core/... ./internal/pagestore/... ./internal/device/...
+
+.PHONY: help build test race bench fmt fmt-fix vet ci clean
+
+help:
+	@echo "BF-Tree — available targets:"
+	@echo ""
+	@echo "  make build    - go build ./..."
+	@echo "  make test     - go test ./..."
+	@echo "  make race     - race-detector tests on core/pagestore/device"
+	@echo "  make bench    - run every benchmark once (smoke) "
+	@echo "  make fmt      - fail if any file needs gofmt"
+	@echo "  make fmt-fix  - gofmt -w the tree"
+	@echo "  make vet      - go vet ./..."
+	@echo "  make ci       - everything CI runs, in order"
+	@echo "  make clean    - drop build and test caches"
+	@echo ""
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt-fix:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build test race bench
+
+clean:
+	$(GO) clean -testcache
+	rm -f *.prof

@@ -65,6 +65,11 @@ func BenchmarkFig12bSHDWarm(b *testing.B)               { runExperiment(b, "fig1
 func BenchmarkFig13RangeScan(b *testing.B)              { runExperiment(b, "fig13") }
 func BenchmarkFig14InsertDrift(b *testing.B)            { runExperiment(b, "fig14") }
 
+// Concurrent probe engine: throughput and tail latency at 1..16 workers
+// with real per-access device latency (see internal/bench/concurrent.go).
+
+func BenchmarkConcurrentProbe(b *testing.B) { runExperiment(b, "concurrent-probe") }
+
 // Ablations (DESIGN.md section 4).
 
 func BenchmarkAblationBFGranularity(b *testing.B) { runExperiment(b, "ablation-granularity") }

@@ -19,6 +19,12 @@
 //	idx, _ := bftree.BulkLoad(idxStore, file, "timestamp", bftree.Options{FPP: 1e-3})
 //	res, _ := idx.Search(key)
 //
+// Concurrency: a built Tree is safe for concurrent readers — Search,
+// SearchFirst, RangeScan and friends may be called from any number of
+// goroutines. Writers (Insert, Delete, BufferedInserter) require
+// external coordination; BufferedInserter is not safe for concurrent
+// use. See DESIGN.md §3 for the full contract.
+//
 // Package-level names are thin aliases over the implementation packages
 // under internal/; see DESIGN.md for the full system inventory.
 package bftree

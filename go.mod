@@ -1,0 +1,3 @@
+module bftree
+
+go 1.24

@@ -32,6 +32,8 @@ var Experiments = map[string]Runner{
 	"fig13":  RunFig13,
 	"fig14":  func(Scale) (*Table, error) { return RunFig14(), nil },
 
+	"concurrent-probe": RunConcurrentProbe,
+
 	"ablation-granularity": RunAblationGranularity,
 	"ablation-hashes":      RunAblationHashCount,
 	"ablation-parallel":    RunAblationParallelProbe,

@@ -13,12 +13,20 @@
 // reproduces the property the paper's design exploits: on the HDD
 // sequential I/O is orders of magnitude cheaper than random I/O, while on
 // the SSD the two are nearly identical.
+//
+// Concurrency: a Device is safe for concurrent use and the read path is
+// designed to scale. Accounting (Stats, the sequential-access tracker)
+// is kept in atomics, the page directory is published through an atomic
+// pointer, and page data is guarded by striped reader/writer locks — so
+// concurrent readers of distinct pages never contend on a lock, and
+// readers of the same page share a read lock.
 package device
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -62,8 +70,10 @@ type CostModel struct {
 }
 
 // Stats accumulates I/O accounting for a device. All counters are
-// monotonically increasing; Snapshot under the device lock gives a
-// consistent view.
+// monotonically increasing. Snapshots taken while I/O is in flight are
+// internally consistent per counter (each is read atomically) but may
+// straddle an operation that has bumped one counter and not yet another;
+// quiescent snapshots are exact.
 type Stats struct {
 	RandomReads  uint64
 	SeqReads     uint64
@@ -89,18 +99,69 @@ func (s Stats) String() string {
 // ErrOutOfRange reports access to a page beyond the device size.
 var ErrOutOfRange = errors.New("device: page out of range")
 
-// Device is a simulated page-addressable storage device. It is safe for
-// concurrent use; the virtual clock serializes cost accounting but data
-// accesses copy in and out under the lock.
+// pageStripes is the number of striped page-data locks. Accesses to
+// pages in different stripes proceed fully in parallel; the count only
+// bounds how many *writers* can be active at once, so a modest power of
+// two is plenty.
+const pageStripes = 64
+
+// statsCounters is the lock-free backing of Stats.
+type statsCounters struct {
+	randomReads  atomic.Uint64
+	seqReads     atomic.Uint64
+	randomWrites atomic.Uint64
+	seqWrites    atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	elapsedNanos atomic.Int64
+}
+
+func (c *statsCounters) snapshot() Stats {
+	return Stats{
+		RandomReads:  c.randomReads.Load(),
+		SeqReads:     c.seqReads.Load(),
+		RandomWrites: c.randomWrites.Load(),
+		SeqWrites:    c.seqWrites.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		Elapsed:      time.Duration(c.elapsedNanos.Load()),
+	}
+}
+
+func (c *statsCounters) reset() {
+	c.randomReads.Store(0)
+	c.seqReads.Store(0)
+	c.randomWrites.Store(0)
+	c.seqWrites.Store(0)
+	c.bytesRead.Store(0)
+	c.bytesWritten.Store(0)
+	c.elapsedNanos.Store(0)
+}
+
+// Device is a simulated page-addressable storage device, safe for
+// concurrent use. The page directory is a grow-only slice published via
+// an atomic pointer (page buffers are stable once allocated), page data
+// is guarded by striped RW locks, and all accounting is atomic, so
+// concurrent readers never serialize behind a device-wide mutex.
+//
+// Under concurrency the random/sequential classification of an
+// individual access depends on interleaving (the tracker holds the
+// globally last-touched page), but the totals reported by Stats —
+// Stats.Reads(), Stats.Writes(), bytes — are exact.
 type Device struct {
-	mu       sync.Mutex
 	kind     Kind
 	name     string
 	pageSize int
 	cost     CostModel
-	pages    [][]byte
-	lastPage PageID // for sequential detection; InvalidPage initially
-	stats    Stats
+
+	allocMu sync.Mutex                // serializes Allocate
+	pages   atomic.Pointer[[][]byte]  // grow-only directory; buffers stable
+	locks   [pageStripes]sync.RWMutex // striped page-data locks
+
+	lastPage atomic.Uint64 // sequential detection; InvalidPage initially
+	stats    statsCounters
+
+	realLatency atomic.Int64 // optional real ns slept per I/O op (see SetRealLatency)
 }
 
 // New creates a device of the given kind with the default profile for
@@ -114,13 +175,16 @@ func NewWithProfile(p Profile, pageSize int) *Device {
 	if pageSize <= 0 {
 		pageSize = 4096
 	}
-	return &Device{
+	d := &Device{
 		kind:     p.Kind,
 		name:     p.Name,
 		pageSize: pageSize,
 		cost:     p.Cost,
-		lastPage: InvalidPage,
 	}
+	empty := make([][]byte, 0)
+	d.pages.Store(&empty)
+	d.lastPage.Store(uint64(InvalidPage))
+	return d
 }
 
 // Kind returns the device class.
@@ -134,88 +198,123 @@ func (d *Device) PageSize() int { return d.pageSize }
 
 // NumPages returns the number of allocated pages.
 func (d *Device) NumPages() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return uint64(len(d.pages))
+	return uint64(len(*d.pages.Load()))
+}
+
+// SetRealLatency makes every subsequent page access block for perOp of
+// real (wall-clock) time in addition to the virtual-clock charge. The
+// sleep happens outside all locks, modelling a device whose in-flight
+// operations overlap: concurrent probers wait in parallel, exactly as
+// they would on real storage with queue depth. Zero (the default)
+// disables the sleep, keeping tests and experiments instantaneous. The
+// concurrent-probe benchmark uses this to measure how probe throughput
+// scales with workers even on machines with few cores.
+func (d *Device) SetRealLatency(perOp time.Duration) {
+	d.realLatency.Store(int64(perOp))
+}
+
+func (d *Device) sleepRealLatency() {
+	if ns := d.realLatency.Load(); ns > 0 {
+		time.Sleep(time.Duration(ns))
+	}
+}
+
+// stripe returns the data lock guarding page id.
+func (d *Device) stripe(id PageID) *sync.RWMutex {
+	return &d.locks[uint64(id)%pageStripes]
 }
 
 // Allocate appends n zeroed pages and returns the id of the first.
 func (d *Device) Allocate(n int) PageID {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	first := PageID(len(d.pages))
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
+	old := *d.pages.Load()
+	first := PageID(len(old))
+	grown := make([][]byte, len(old), len(old)+n)
+	copy(grown, old)
 	for i := 0; i < n; i++ {
-		d.pages = append(d.pages, make([]byte, d.pageSize))
+		grown = append(grown, make([]byte, d.pageSize))
 	}
+	d.pages.Store(&grown)
 	return first
+}
+
+// chargeRead classifies the access against the sequential tracker and
+// bumps the read counters.
+func (d *Device) chargeRead(id PageID) (sequential bool) {
+	prev := d.lastPage.Swap(uint64(id))
+	sequential = prev != uint64(InvalidPage) && uint64(id) == prev+1
+	if sequential {
+		d.stats.seqReads.Add(1)
+		d.stats.elapsedNanos.Add(int64(d.cost.SeqRead))
+	} else {
+		d.stats.randomReads.Add(1)
+		d.stats.elapsedNanos.Add(int64(d.cost.RandomRead))
+	}
+	d.stats.bytesRead.Add(uint64(d.pageSize))
+	return sequential
 }
 
 // ReadPage reads page id into buf (which must be at least PageSize long)
 // and charges the appropriate cost. It reports whether the access was
 // sequential.
 func (d *Device) ReadPage(id PageID, buf []byte) (sequential bool, err error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if uint64(id) >= uint64(len(d.pages)) {
-		return false, fmt.Errorf("%w: read page %d of %d", ErrOutOfRange, id, len(d.pages))
+	pages := *d.pages.Load()
+	if uint64(id) >= uint64(len(pages)) {
+		return false, fmt.Errorf("%w: read page %d of %d", ErrOutOfRange, id, len(pages))
 	}
 	if len(buf) < d.pageSize {
 		return false, fmt.Errorf("device: buffer %d smaller than page size %d", len(buf), d.pageSize)
 	}
-	copy(buf, d.pages[id])
-	sequential = d.lastPage != InvalidPage && id == d.lastPage+1
-	if sequential {
-		d.stats.SeqReads++
-		d.stats.Elapsed += d.cost.SeqRead
-	} else {
-		d.stats.RandomReads++
-		d.stats.Elapsed += d.cost.RandomRead
-	}
-	d.stats.BytesRead += uint64(d.pageSize)
-	d.lastPage = id
+	mu := d.stripe(id)
+	mu.RLock()
+	copy(buf, pages[id])
+	mu.RUnlock()
+	sequential = d.chargeRead(id)
+	d.sleepRealLatency()
 	return sequential, nil
 }
 
 // WritePage writes buf to page id, charging the appropriate cost. The
 // page must already be allocated.
 func (d *Device) WritePage(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if uint64(id) >= uint64(len(d.pages)) {
-		return fmt.Errorf("%w: write page %d of %d", ErrOutOfRange, id, len(d.pages))
+	pages := *d.pages.Load()
+	if uint64(id) >= uint64(len(pages)) {
+		return fmt.Errorf("%w: write page %d of %d", ErrOutOfRange, id, len(pages))
 	}
 	if len(buf) > d.pageSize {
 		return fmt.Errorf("device: payload %d exceeds page size %d", len(buf), d.pageSize)
 	}
-	copy(d.pages[id], buf)
+	mu := d.stripe(id)
+	mu.Lock()
+	page := pages[id]
+	copy(page, buf)
 	for i := len(buf); i < d.pageSize; i++ {
-		d.pages[id][i] = 0
+		page[i] = 0
 	}
-	if d.lastPage != InvalidPage && id == d.lastPage+1 {
-		d.stats.SeqWrites++
-		d.stats.Elapsed += d.cost.SeqWrite
+	mu.Unlock()
+	prev := d.lastPage.Swap(uint64(id))
+	if prev != uint64(InvalidPage) && uint64(id) == prev+1 {
+		d.stats.seqWrites.Add(1)
+		d.stats.elapsedNanos.Add(int64(d.cost.SeqWrite))
 	} else {
-		d.stats.RandomWrites++
-		d.stats.Elapsed += d.cost.RandomWrite
+		d.stats.randomWrites.Add(1)
+		d.stats.elapsedNanos.Add(int64(d.cost.RandomWrite))
 	}
-	d.stats.BytesWritten += uint64(d.pageSize)
-	d.lastPage = id
+	d.stats.bytesWritten.Add(uint64(d.pageSize))
+	d.sleepRealLatency()
 	return nil
 }
 
 // Stats returns a snapshot of the accumulated counters.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return d.stats.snapshot()
 }
 
 // ResetStats zeroes the counters and the sequential-access tracker. Data
 // is untouched; experiments call this between the build phase and the
 // measured probe phase.
 func (d *Device) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
-	d.lastPage = InvalidPage
+	d.stats.reset()
+	d.lastPage.Store(uint64(InvalidPage))
 }

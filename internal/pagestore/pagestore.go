@@ -7,25 +7,36 @@
 // accesses reach the device. With the cache disabled the store behaves
 // like the paper's O_DIRECT cold-cache runs, where every page access pays
 // device cost.
+//
+// Concurrency: a Store is safe for concurrent use and the read path is
+// built to scale. The cache is sharded — each shard owns an independent
+// LRU list behind its own lock, and a page's shard is fixed by its id —
+// so concurrent probes touching different pages rarely contend; hit/miss
+// counters are lock-free atomics. Small caches keep a single shard,
+// preserving exact global LRU semantics; large caches trade that for
+// per-shard LRU, which is the standard buffer-pool compromise. Probes
+// running concurrently with writes to the same page may briefly observe
+// the pre-write image; the Tree-level contract (see DESIGN.md) is
+// concurrent readers with external coordination for writers.
 package pagestore
 
 import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bftree/internal/device"
 )
 
 // Store provides cached page access on top of a device.
 type Store struct {
-	mu         sync.Mutex
 	dev        *device.Device
-	cache      *lruCache // nil when caching is disabled
-	pinnedOnly bool      // cache serves only explicitly Warmed pages
+	cache      *shardedCache // nil when caching is disabled
+	pinnedOnly bool          // cache serves only explicitly Warmed pages
 
-	hits   uint64
-	misses uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // Option configures a Store.
@@ -36,7 +47,7 @@ type Option func(*Store)
 func WithCache(capacityPages int) Option {
 	return func(s *Store) {
 		if capacityPages > 0 {
-			s.cache = newLRUCache(capacityPages)
+			s.cache = newShardedCache(capacityPages)
 		}
 	}
 }
@@ -49,7 +60,7 @@ func WithCache(capacityPages int) Option {
 func WithPinnedCache(capacityPages int) Option {
 	return func(s *Store) {
 		if capacityPages > 0 {
-			s.cache = newLRUCache(capacityPages)
+			s.cache = newShardedCache(capacityPages)
 			s.pinnedOnly = true
 		}
 	}
@@ -80,50 +91,68 @@ func (s *Store) Allocate(n int) device.PageID {
 // ReadPage returns the contents of page id. The returned slice is a copy
 // owned by the caller. A cache hit costs no device I/O.
 func (s *Store) ReadPage(id device.PageID) ([]byte, error) {
-	s.mu.Lock()
+	var sh *cacheShard
 	if s.cache != nil {
-		if data, ok := s.cache.get(id); ok {
-			s.hits++
+		sh = s.cache.shardFor(id)
+		sh.mu.Lock()
+		if data, ok := sh.lru.get(id); ok {
 			out := make([]byte, len(data))
 			copy(out, data)
-			s.mu.Unlock()
+			sh.mu.Unlock()
+			s.hits.Add(1)
 			return out, nil
 		}
-		s.misses++
+		sh.mu.Unlock()
+		s.misses.Add(1)
 	}
-	s.mu.Unlock()
 
+	var gen uint64
+	if sh != nil && !s.pinnedOnly {
+		gen = sh.gen.Load()
+	}
 	buf := make([]byte, s.dev.PageSize())
 	if _, err := s.dev.ReadPage(id, buf); err != nil {
 		return nil, err
 	}
 
-	if s.cache != nil && !s.pinnedOnly {
-		s.mu.Lock()
-		s.cache.put(id, buf)
-		s.mu.Unlock()
-		out := make([]byte, len(buf))
-		copy(out, buf)
-		return out, nil
+	if sh != nil && !s.pinnedOnly {
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		sh.mu.Lock()
+		// Admit only if no write to this shard overlapped the device
+		// read: a concurrent writer bumps gen both before its device
+		// write and before its own cache update, so if this read raced
+		// it — and could be holding the pre-write image — the check
+		// fails and the cache never regresses to stale data.
+		if sh.gen.Load() == gen {
+			sh.lru.put(id, cp)
+		}
+		sh.mu.Unlock()
 	}
 	return buf, nil
 }
 
 // WritePage writes buf to page id, updating the cache (write-through).
 func (s *Store) WritePage(id device.PageID, buf []byte) error {
+	var sh *cacheShard
+	if s.cache != nil {
+		sh = s.cache.shardFor(id)
+		sh.gen.Add(1) // readers sampling after this must not admit pre-write data
+	}
 	if err := s.dev.WritePage(id, buf); err != nil {
 		return err
 	}
-	if s.cache != nil {
-		s.mu.Lock()
+	if sh != nil {
+		sh.gen.Add(1) // invalidate readers whose device read preceded the write
+		sh.mu.Lock()
 		// A pinned-only cache must stay coherent for pages it already
 		// holds, but writes never admit new pages into it.
-		if !s.pinnedOnly || s.cache.contains(id) {
+		if !s.pinnedOnly || sh.lru.contains(id) {
 			full := make([]byte, s.dev.PageSize())
 			copy(full, buf)
-			s.cache.put(id, full)
+			sh.lru.put(id, full)
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -140,9 +169,10 @@ func (s *Store) Warm(ids []device.PageID) error {
 		if _, err := s.dev.ReadPage(id, buf); err != nil {
 			return err
 		}
-		s.mu.Lock()
-		s.cache.put(id, buf)
-		s.mu.Unlock()
+		sh := s.cache.shardFor(id)
+		sh.mu.Lock()
+		sh.lru.putResident(id, buf)
+		sh.mu.Unlock()
 	}
 	// Warming is free: it models pages already resident, so refund the
 	// device cost it just charged.
@@ -152,9 +182,7 @@ func (s *Store) Warm(ids []device.PageID) error {
 
 // CacheStats reports cache hits and misses since creation.
 func (s *Store) CacheStats() (hits, misses uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.hits, s.misses
+	return s.hits.Load(), s.misses.Load()
 }
 
 // Cached reports whether the store has a buffer cache.
@@ -162,18 +190,83 @@ func (s *Store) Cached() bool { return s.cache != nil }
 
 // DropCache empties the buffer cache (keeps it enabled).
 func (s *Store) DropCache() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cache != nil {
-		s.cache.drop()
+	if s.cache == nil {
+		return
+	}
+	for i := range s.cache.shards {
+		sh := &s.cache.shards[i]
+		sh.mu.Lock()
+		sh.lru.drop()
+		sh.mu.Unlock()
 	}
 }
 
-// lruCache is a classic LRU page cache. Callers hold the store lock.
+// minShardCapacity is the smallest per-shard page budget worth splitting
+// for: below it, sharding would make eviction noticeably less LRU-like
+// while saving contention no probe workload can generate.
+const minShardCapacity = 64
+
+// maxCacheShards bounds the shard count; 64 shards of independent locks
+// comfortably outpaces any realistic probe parallelism.
+const maxCacheShards = 64
+
+// shardedCache splits a page cache into independently locked LRU shards.
+// A page's shard is a hash of its id, so tree levels laid out on
+// contiguous pages spread across shards instead of striding into one.
+type shardedCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *lruCache
+
+	// gen counts writes to pages of this shard; ReadPage uses it to
+	// detect a write overlapping its uncached device read and skip
+	// admission (see WritePage). Per-shard so unrelated writes don't
+	// cancel admissions across the whole store.
+	gen atomic.Uint64
+}
+
+// shardCount picks the largest power-of-two shard count that keeps every
+// shard at least minShardCapacity pages, capped at maxCacheShards.
+// Capacities below 2×minShardCapacity get a single shard — exact global
+// LRU, matching the semantics small deterministic experiments rely on.
+func shardCount(capacity int) int {
+	n := 1
+	for n*2 <= maxCacheShards && capacity/(n*2) >= minShardCapacity {
+		n *= 2
+	}
+	return n
+}
+
+func newShardedCache(capacity int) *shardedCache {
+	n := shardCount(capacity)
+	perShard := (capacity + n - 1) / n
+	c := &shardedCache{
+		shards: make([]cacheShard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].lru = newLRUCache(perShard)
+	}
+	return c
+}
+
+// shardFor maps a page id to its shard with a Fibonacci hash, decorrelating
+// the sequential page ids of a freshly bulk-loaded level.
+func (c *shardedCache) shardFor(id device.PageID) *cacheShard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &c.shards[(h>>32)&c.mask]
+}
+
+// lruCache is a classic LRU page cache. Callers hold the shard lock.
 type lruCache struct {
-	capacity int
-	ll       *list.List // front = most recent; values are *cacheEntry
-	index    map[device.PageID]*list.Element
+	capacity     int
+	baseCapacity int        // configured budget; drop() restores it after putResident growth
+	ll           *list.List // front = most recent; values are *cacheEntry
+	index        map[device.PageID]*list.Element
 }
 
 type cacheEntry struct {
@@ -183,9 +276,10 @@ type cacheEntry struct {
 
 func newLRUCache(capacity int) *lruCache {
 	return &lruCache{
-		capacity: capacity,
-		ll:       list.New(),
-		index:    make(map[device.PageID]*list.Element),
+		capacity:     capacity,
+		baseCapacity: capacity,
+		ll:           list.New(),
+		index:        make(map[device.PageID]*list.Element),
 	}
 }
 
@@ -213,6 +307,17 @@ func (c *lruCache) put(id device.PageID, data []byte) {
 	}
 }
 
+// putResident inserts without ever evicting, growing the shard's budget
+// if needed. Warm uses it: warmed pages model data that is already
+// resident, so a hash imbalance across shards must not push part of the
+// warmed set back out.
+func (c *lruCache) putResident(id device.PageID, data []byte) {
+	if !c.contains(id) && c.ll.Len()+1 > c.capacity {
+		c.capacity = c.ll.Len() + 1
+	}
+	c.put(id, data)
+}
+
 func (c *lruCache) contains(id device.PageID) bool {
 	_, ok := c.index[id]
 	return ok
@@ -221,4 +326,5 @@ func (c *lruCache) contains(id device.PageID) bool {
 func (c *lruCache) drop() {
 	c.ll.Init()
 	c.index = make(map[device.PageID]*list.Element)
+	c.capacity = c.baseCapacity
 }
