@@ -70,6 +70,12 @@ func BenchmarkFig14InsertDrift(b *testing.B)            { runExperiment(b, "fig1
 
 func BenchmarkConcurrentProbe(b *testing.B) { runExperiment(b, "concurrent-probe") }
 
+// Mixed read/write: reader throughput at 1..8 workers while one writer
+// streams inserts through the copy-on-write structural path (see
+// internal/bench/mixedrw.go).
+
+func BenchmarkMixedRW(b *testing.B) { runExperiment(b, "mixed-rw") }
+
 // Ablations (DESIGN.md section 4).
 
 func BenchmarkAblationBFGranularity(b *testing.B) { runExperiment(b, "ablation-granularity") }

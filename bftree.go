@@ -19,11 +19,17 @@
 //	idx, _ := bftree.BulkLoad(idxStore, file, "timestamp", bftree.Options{FPP: 1e-3})
 //	res, _ := idx.Search(key)
 //
-// Concurrency: a built Tree is safe for concurrent readers — Search,
+// Concurrency: a built Tree is single-writer/multi-reader. Search,
 // SearchFirst, RangeScan and friends may be called from any number of
-// goroutines. Writers (Insert, Delete, BufferedInserter) require
-// external coordination; BufferedInserter is not safe for concurrent
-// use. See DESIGN.md §3 for the full contract.
+// goroutines concurrently with a writer: every probe loads one
+// immutable metadata snapshot and runs lock-free, while structural
+// changes (leaf splits, appends, root growth) are copy-on-write and
+// published atomically, with retired pages recycled through an epoch
+// grace period. Insert, Delete and Flush serialize on an internal
+// writer mutex, so multiple writer goroutines are safe but execute one
+// at a time; a BufferedInserter's own buffer is unsynchronized — use
+// each inserter from a single goroutine. See DESIGN.md §3 for the full
+// contract.
 //
 // Package-level names are thin aliases over the implementation packages
 // under internal/; see DESIGN.md for the full system inventory.

@@ -33,6 +33,7 @@ var Experiments = map[string]Runner{
 	"fig14":  func(Scale) (*Table, error) { return RunFig14(), nil },
 
 	"concurrent-probe": RunConcurrentProbe,
+	"mixed-rw":         RunMixedRW,
 
 	"ablation-granularity": RunAblationGranularity,
 	"ablation-hashes":      RunAblationHashCount,

@@ -13,6 +13,11 @@ import (
 // in key order on Flush, one leaf read/write per touched leaf instead of
 // one per insert. Searches through the inserter consult the buffer, so
 // buffered keys are never invisible.
+//
+// A BufferedInserter is a single-writer handle: its own buffer state is
+// not synchronized, so use it from one goroutine (probes directly on
+// the Tree may run concurrently; the tree-mutating part of Flush
+// serializes on the tree's writer mutex).
 type BufferedInserter struct {
 	tree     *Tree
 	capacity int
@@ -46,32 +51,45 @@ func (b *BufferedInserter) Insert(key uint64, pid device.PageID) error {
 func (b *BufferedInserter) Pending() int { return len(b.pending) }
 
 // Search probes the tree and overlays any buffered inserts for the key:
-// buffered pages are added to the result's candidate set by fetching
-// them directly.
+// each buffered page for the key is fetched directly and its matches are
+// merged into the result. Tuples the index probe already fetched (the
+// key can be present on an indexed page and a buffered page at once) are
+// not duplicated: the merge dedups against the probe's tuples, so a
+// buffered page the probe also read contributes nothing twice.
 func (b *BufferedInserter) Search(key uint64) (*Result, error) {
 	res, err := b.tree.Search(key)
 	if err != nil {
 		return nil, err
 	}
+	var have map[string]int
 	seen := make(map[device.PageID]bool)
 	for _, p := range b.pending {
-		if p.key == key && !seen[p.pid] {
-			seen[p.pid] = true
-			// The page may already have been fetched by the tree probe;
-			// re-fetching keeps the code simple and only affects
-			// buffered keys.
-			tuples, err := b.tree.file.SearchPage(p.pid, b.tree.fieldIdx, key)
-			if err != nil {
-				return nil, err
+		if p.key != key || seen[p.pid] {
+			continue
+		}
+		seen[p.pid] = true
+		// The page may already have been fetched by the tree probe;
+		// re-fetching keeps the code simple and only affects
+		// buffered keys.
+		tuples, err := b.tree.file.SearchPage(p.pid, b.tree.fieldIdx, key)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.DataPagesRead++
+		if have == nil {
+			have = make(map[string]int, len(res.Tuples))
+			for _, tup := range res.Tuples {
+				have[string(tup)]++
 			}
-			res.Stats.DataPagesRead++
-			if len(res.Tuples) == 0 {
-				for _, tup := range tuples {
-					cp := make([]byte, len(tup))
-					copy(cp, tup)
-					res.Tuples = append(res.Tuples, cp)
-				}
+		}
+		for _, tup := range tuples {
+			if have[string(tup)] > 0 {
+				have[string(tup)]--
+				continue
 			}
+			cp := make([]byte, len(tup))
+			copy(cp, tup)
+			res.Tuples = append(res.Tuples, cp)
 		}
 	}
 	return res, nil
@@ -80,7 +98,9 @@ func (b *BufferedInserter) Search(key uint64) (*Result, error) {
 // Flush applies all buffered inserts. Entries are sorted by key and
 // applied leaf by leaf: one descent and one leaf write per touched leaf.
 // Entries that need structural changes (splits, appends past the tail)
-// fall back to the tree's one-at-a-time Insert.
+// fall back to the tree's one-at-a-time insert path. On error, every
+// entry that was not durably applied stays in the buffer — a failed
+// flush loses nothing, and a retry picks up exactly where it stopped.
 func (b *BufferedInserter) Flush() error {
 	if len(b.pending) == 0 {
 		return nil
@@ -90,15 +110,25 @@ func (b *BufferedInserter) Flush() error {
 	b.pending = nil
 	sort.Slice(batch, func(i, j int) bool { return batch[i].key < batch[j].key })
 
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+
 	i := 0
+	// keepRemainder restores everything from index from onward into the
+	// buffer: the failing entry plus all entries behind it.
+	keepRemainder := func(from int, err error) error {
+		b.pending = append(b.pending, batch[from:]...)
+		return err
+	}
 	for i < len(batch) {
 		leaf, leafPid, path, err := t.descendPath(batch[i].key, true)
 		if err != nil {
-			return err
+			return keepRemainder(i, err)
 		}
 		// Keys up to the path's separator bound route to this leaf.
 		bound := routeBound(path)
-		applied := 0
+		groupStart := i
+		newKeys := uint64(0)
 		for i < len(batch) {
 			e := batch[i]
 			if e.key > bound {
@@ -112,7 +142,7 @@ func (b *BufferedInserter) Flush() error {
 			}
 			isNew := !leaf.probeOne(leaf.bfIndexOf(e.pid), e.key)
 			if err := leaf.addKey(e.key, e.pid); err != nil {
-				return err
+				return keepRemainder(groupStart, err)
 			}
 			if e.key < leaf.minKey {
 				leaf.minKey = e.key
@@ -122,20 +152,24 @@ func (b *BufferedInserter) Flush() error {
 			}
 			if isNew {
 				leaf.numKeys++
-				t.inserts++
+				newKeys++
 			}
-			applied++
 			i++
 		}
-		if applied > 0 {
+		if i > groupStart {
+			// The group's entries are applied only in memory until the
+			// leaf write lands; count nothing before then.
 			if err := t.writeLeaf(leafPid, leaf); err != nil {
-				return err
+				return keepRemainder(groupStart, err)
+			}
+			if newKeys > 0 {
+				t.publish(func(m *treeMeta) { m.inserts += newKeys })
 			}
 			continue
 		}
 		// The head entry needs the structural path.
-		if err := t.Insert(batch[i].key, batch[i].pid); err != nil {
-			return err
+		if err := t.insertLocked(batch[i].key, batch[i].pid); err != nil {
+			return keepRemainder(i, err)
 		}
 		i++
 	}
@@ -143,16 +177,18 @@ func (b *BufferedInserter) Flush() error {
 }
 
 // routeBound returns the largest key that still routes to the leaf at
-// the end of the descent path: the nearest right-hand separator above
-// it, or MaxUint64 on the rightmost spine.
+// the end of an insert-routed descent path: one below the nearest
+// right-hand separator, or MaxUint64 on the rightmost spine. Insert
+// routing sends a key equal to a separator to the right child (the
+// separator is the right leaf's min key), so the separator itself is
+// already outside this leaf — the bound must be separator-1, not the
+// separator.
 func routeBound(path []frame) uint64 {
-	bound := ^uint64(0)
 	for lv := len(path) - 1; lv >= 0; lv-- {
 		f := path[lv]
 		if f.slot < len(f.node.keys) {
-			// Leftmost descent sends key <= keys[slot] into this child.
-			return f.node.keys[f.slot]
+			return f.node.keys[f.slot] - 1
 		}
 	}
-	return bound
+	return ^uint64(0)
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"bftree/internal/bloom"
 	"bftree/internal/device"
@@ -12,6 +14,14 @@ import (
 // Tree is a BF-Tree indexing one attribute of a heap file. Index pages
 // live on their own store (which may sit on a different device than the
 // data, reproducing the paper's five storage configurations).
+//
+// Concurrency: the tree is single-writer/multi-reader. All metadata
+// lives in an immutable treeMeta snapshot behind an atomic pointer;
+// probes load it once and run lock-free. Structural changes are
+// copy-on-write: they build the new leaves and internal path on freshly
+// allocated pages, publish a new snapshot, and retire the old pages
+// through an epoch grace period (meta.go). Writers serialize on
+// writeMu.
 type Tree struct {
 	store    *pagestore.Store
 	file     *heapfile.File
@@ -19,15 +29,12 @@ type Tree struct {
 	opts     Options
 	geo      Geometry
 
-	root      device.PageID
-	firstLeaf device.PageID
-	height    int
-	numLeaves uint64
-	numNodes  uint64
-	numKeys   uint64 // distinct keys indexed at build time
+	meta    atomic.Pointer[treeMeta]
+	readers epochs
 
-	inserts uint64 // keys added after build (fpp drift, Equation 14)
-	deletes uint64 // keys logically deleted without filter support
+	writeMu   sync.Mutex      // serializes Insert/Delete/Flush/Rebuild
+	limboPrev []device.PageID // retired one flip ago (writer-only)
+	limboCur  []device.PageID // retired since the last flip (writer-only)
 }
 
 // pageKeys is the per-data-page key summary gathered while scanning the
@@ -160,6 +167,7 @@ func BulkLoad(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts
 	}
 
 	// Write the leaf level to contiguous pages, chaining next pointers.
+	var m treeMeta
 	firstLeaf := idxStore.Allocate(len(leaves))
 	buf := make([]byte, idxStore.PageSize())
 	for i, l := range leaves {
@@ -172,12 +180,12 @@ func BulkLoad(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts
 		if err := idxStore.WritePage(firstLeaf+device.PageID(i), buf); err != nil {
 			return nil, err
 		}
-		t.numKeys += uint64(l.numKeys)
+		m.numKeys += uint64(l.numKeys)
 	}
-	t.firstLeaf = firstLeaf
-	t.numLeaves = uint64(len(leaves))
-	t.numNodes = t.numLeaves
-	t.height = 1
+	m.firstLeaf = firstLeaf
+	m.numLeaves = uint64(len(leaves))
+	m.numNodes = m.numLeaves
+	m.height = 1
 
 	// Pass 2: build the internal levels bottom-up over the leaves.
 	type childRef struct {
@@ -220,10 +228,11 @@ func BulkLoad(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts
 			next = append(next, childRef{minKey: group[0].minKey, pid: pid})
 		}
 		level = next
-		t.numNodes += uint64(numNodes)
-		t.height++
+		m.numNodes += uint64(numNodes)
+		m.height++
 	}
-	t.root = level[0].pid
+	m.root = level[0].pid
+	t.meta.Store(&m)
 	return t, nil
 }
 

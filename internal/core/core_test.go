@@ -244,7 +244,7 @@ func TestLeafChainCoversFile(t *testing.T) {
 	fx := newFixture(t, 25000, 11)
 	tr := fx.build(t, 0, Options{FPP: 0.01})
 	var stats ProbeStats
-	pid := tr.firstLeaf
+	pid := tr.loadMeta().firstLeaf
 	expectPid := fx.file.FirstPage()
 	leaves := uint64(0)
 	for pid != device.InvalidPage {
@@ -456,13 +456,13 @@ func TestEffectiveFPPDrift(t *testing.T) {
 	if got := tr.EffectiveFPP(); got != 0.001 {
 		t.Errorf("fresh tree fpp = %g", got)
 	}
-	tr.inserts = tr.numKeys / 10 // +10 % inserts
+	tr.publish(func(m *treeMeta) { m.inserts = m.numKeys / 10 }) // +10 % inserts
 	drifted := tr.EffectiveFPP()
 	if drifted <= 0.001 {
 		t.Error("inserts must raise effective fpp")
 	}
 	// Equation 14: fpp^(1/1.1).
-	tr.deletes = tr.numKeys / 10
+	tr.publish(func(m *treeMeta) { m.deletes = m.numKeys / 10 })
 	withDeletes := tr.EffectiveFPP()
 	if withDeletes < drifted+0.09 {
 		t.Errorf("10%% deletes should add ≈0.1: %g vs %g", withDeletes, drifted)

@@ -16,11 +16,19 @@ import (
 const splitEnumLimit = 1 << 20
 
 // frame is one step of a root-to-leaf descent, kept for split
-// propagation.
+// propagation. node is a writer-private decoded copy, free to mutate.
 type frame struct {
 	pid  device.PageID
 	node *internalNode
 	slot int
+}
+
+// sepInsert is a separator/child pair a structural change adds to the
+// parent level: the new right sibling produced by a leaf or internal
+// split, or a freshly appended tail leaf.
+type sepInsert struct {
+	key   uint64
+	child device.PageID
 }
 
 // descendPath walks to the leaf for key, recording the internal path.
@@ -30,7 +38,7 @@ type frame struct {
 // min key, so new tuples for it live in the right leaf's page range).
 func (t *Tree) descendPath(key uint64, forInsert bool) (*bfLeaf, device.PageID, []frame, error) {
 	var path []frame
-	pid := t.root
+	pid := t.loadMeta().root
 	for {
 		buf, err := t.store.ReadPage(pid)
 		if err != nil {
@@ -77,7 +85,18 @@ func (t *Tree) writeLeaf(pid device.PageID, l *bfLeaf) error {
 // data page pid must fall inside the leaf's page range, or extend the
 // file's tail (appends), mirroring the paper's assumption that data stays
 // ordered or partitioned on the indexed attribute.
+//
+// Insert is safe to call concurrently with any number of probes;
+// concurrent Inserts serialize on an internal mutex (the tree is
+// single-writer by construction, see DESIGN.md §3).
 func (t *Tree) Insert(key uint64, pid device.PageID) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	return t.insertLocked(key, pid)
+}
+
+// insertLocked is Insert's body; callers hold writeMu.
+func (t *Tree) insertLocked(key uint64, pid device.PageID) error {
 	leaf, leafPid, path, err := t.descendPath(key, true)
 	if err != nil {
 		return err
@@ -103,9 +122,13 @@ func (t *Tree) Insert(key uint64, pid device.PageID) error {
 			return err
 		}
 		// Re-descend: the key now routes to one of the halves.
-		return t.Insert(key, pid)
+		return t.insertLocked(key, pid)
 	}
 
+	// Non-structural insert: the leaf keeps its pid and is rewritten in
+	// place. Page writes are atomic at the store level, so a concurrent
+	// probe sees either the pre- or the post-insert leaf image — both
+	// consistent trees.
 	isNew := !leaf.probeOne(leaf.bfIndexOf(pid), key)
 	if err := leaf.addKey(key, pid); err != nil {
 		return err
@@ -118,16 +141,25 @@ func (t *Tree) Insert(key uint64, pid device.PageID) error {
 	}
 	if isNew {
 		leaf.numKeys++
-		t.inserts++
 	}
-	return t.writeLeaf(leafPid, leaf)
+	if err := t.writeLeaf(leafPid, leaf); err != nil {
+		return err
+	}
+	if isNew {
+		t.publish(func(m *treeMeta) { m.inserts++ })
+	}
+	return nil
 }
 
 // Delete removes one key→page association. Counting-filter leaves
 // delete physically (Section 7's deletable-filter alternative); standard
 // leaves only record the delete, which degrades the effective fpp by the
-// additive term of Section 7 until the leaf is rebuilt.
+// additive term of Section 7 until the leaf is rebuilt. Like Insert,
+// Delete serializes on the writer mutex and runs concurrently with
+// probes.
 func (t *Tree) Delete(key uint64, pid device.PageID) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
 	leaf, leafPid, _, err := t.descendPath(key, true)
 	if err != nil {
 		return err
@@ -145,7 +177,7 @@ func (t *Tree) Delete(key uint64, pid device.PageID) error {
 		leaf = nl
 	}
 	if t.opts.Filter != CountingFilter {
-		t.deletes++
+		t.publish(func(m *treeMeta) { m.deletes++ })
 		return nil
 	}
 	if err := leaf.removeKey(key, pid); err != nil {
@@ -154,13 +186,20 @@ func (t *Tree) Delete(key uint64, pid device.PageID) error {
 	if leaf.numKeys > 0 {
 		leaf.numKeys--
 	}
-	t.deletes++
-	return t.writeLeaf(leafPid, leaf)
+	if err := t.writeLeaf(leafPid, leaf); err != nil {
+		return err
+	}
+	t.publish(func(m *treeMeta) { m.deletes++ })
+	return nil
 }
 
 // appendLeaf grows the tree at its right edge: a new leaf covering the
 // page range starting at pid, pre-sized to the maximum filter count so
-// later appends land in it without resizing.
+// later appends land in it without resizing. The new leaf goes to a
+// freshly allocated page; the old tail keeps its pid and only has its
+// chain pointer updated (a page-atomic write), so the sole structural
+// edit — inserting the new separator and child — is done copy-on-write
+// up the path and published as one new snapshot.
 func (t *Tree) appendLeaf(key uint64, pid device.PageID, lastLeaf *bfLeaf, lastPid device.PageID, path []frame) error {
 	maxS := maxFiltersPerLeaf(t.geo)
 	posPerBF := t.geo.positionsFor(maxS, t.opts.Filter)
@@ -177,17 +216,34 @@ func (t *Tree) appendLeaf(key uint64, pid device.PageID, lastLeaf *bfLeaf, lastP
 	newPid := t.store.Allocate(1)
 	nl.next = lastLeaf.next // InvalidPage: this is the new tail
 	if err := t.writeLeaf(newPid, nl); err != nil {
+		t.store.Free(newPid) // never linked: immediately reusable
 		return err
 	}
+	newRoot, added, grew, retired, err := t.cowPath(path, lastPid, &sepInsert{key: key, child: newPid})
+	if err != nil {
+		t.store.Free(newPid)
+		return err
+	}
+	// Chain the old tail to the new leaf, now that nothing can fail and
+	// leave a linked-but-unindexed tail behind. Probes racing this see
+	// the tail either without the appended leaf (the pre-insert
+	// snapshot) or with it fully written — both consistent.
 	lastLeaf.next = newPid
 	if err := t.writeLeaf(lastPid, lastLeaf); err != nil {
+		t.store.Free(newPid)
 		return err
 	}
-	t.numLeaves++
-	t.numNodes++
-	t.numKeys++
-	t.inserts++
-	return t.insertIntoParents(path, key, newPid)
+	t.publish(func(m *treeMeta) {
+		m.root = newRoot
+		m.height += grew
+		m.numLeaves++
+		m.numNodes += 1 + added
+		m.numKeys++
+		m.inserts++
+	})
+	t.retire(retired...)
+	t.reclaim()
+	return nil
 }
 
 // splitLeaf implements Algorithm 2: divide the leaf's key range at its
@@ -198,10 +254,21 @@ func (t *Tree) appendLeaf(key uint64, pid device.PageID, lastLeaf *bfLeaf, lastP
 // exactly the accuracy contract of the paper. Leaves whose key span
 // exceeds splitEnumLimit are rebuilt exactly from their data pages
 // instead.
+//
+// The split is copy-on-write: both halves and every internal node on
+// the descent path are written to freshly allocated pages, then the new
+// root is published as one snapshot. The pre-split leaf and the old
+// path stay frozen until every probe that could still reach them has
+// drained (the epoch grace period of meta.go), after which their pages
+// return to the store's free list.
 func (t *Tree) splitLeaf(leaf *bfLeaf, leafPid device.PageID, path []frame) error {
 	var left, right *bfLeaf
 	var err error
-	if leaf.maxKey-leaf.minKey+1 > splitEnumLimit {
+	// The natural span check maxKey-minKey+1 wraps to zero for a leaf
+	// covering the whole uint64 domain, which would select enumeration
+	// with span 0; the minus-one form is overflow-safe and still sends
+	// wide leaves to the exact rebuild.
+	if leaf.maxKey-leaf.minKey >= splitEnumLimit {
 		left, right, err = t.splitByRebuild(leaf)
 	} else {
 		left, right, err = t.splitByProbe(leaf)
@@ -210,18 +277,96 @@ func (t *Tree) splitLeaf(leaf *bfLeaf, leafPid device.PageID, path []frame) erro
 		return err
 	}
 
+	leftPid := t.store.Allocate(1)
 	rightPid := t.store.Allocate(1)
 	right.next = leaf.next
 	left.next = rightPid
-	if err := t.writeLeaf(leafPid, left); err != nil {
+	if err := t.writeLeaf(leftPid, left); err != nil {
+		t.store.Free(leftPid, rightPid) // never linked: immediately reusable
 		return err
 	}
 	if err := t.writeLeaf(rightPid, right); err != nil {
+		t.store.Free(leftPid, rightPid)
 		return err
 	}
-	t.numLeaves++
-	t.numNodes++
-	return t.insertIntoParents(path, right.minKey, rightPid)
+	// Locate the predecessor leaf before cowPath mutates the recorded
+	// path nodes (separator insert, internal splits); the relink itself
+	// happens after the last fallible step below.
+	predPid, err := t.predecessorLeaf(path)
+	if err != nil {
+		t.store.Free(leftPid, rightPid)
+		return err
+	}
+	newRoot, added, grew, retired, err := t.cowPath(path, leftPid, &sepInsert{key: right.minKey, child: rightPid})
+	if err != nil {
+		t.store.Free(leftPid, rightPid)
+		return err
+	}
+	// Relink the predecessor's chain pointer (page-atomic) so
+	// current-snapshot range scans reach the halves; running it last
+	// means a failed split never leaks linked pages. A probe that
+	// already followed the old pointer keeps traversing the frozen
+	// pre-split leaf, which covers the same keys and pages and answers
+	// identically.
+	if predPid != device.InvalidPage {
+		var stats ProbeStats
+		pred, err := t.readLeaf(predPid, &stats)
+		if err != nil {
+			t.store.Free(leftPid, rightPid)
+			return err
+		}
+		pred.next = leftPid
+		if err := t.writeLeaf(predPid, pred); err != nil {
+			t.store.Free(leftPid, rightPid)
+			return err
+		}
+	}
+	t.publish(func(m *treeMeta) {
+		m.root = newRoot
+		m.height += grew
+		m.numLeaves++
+		m.numNodes += 1 + added
+		if m.firstLeaf == leafPid {
+			m.firstLeaf = leftPid
+		}
+	})
+	t.retire(leafPid)
+	t.retire(retired...)
+	t.reclaim()
+	return nil
+}
+
+// predecessorLeaf returns the pid of the leaf chained immediately
+// before the leaf at the bottom of path, or InvalidPage when that leaf
+// is the leftmost: the rightmost leaf under the nearest left-sibling
+// pointer along the path.
+func (t *Tree) predecessorLeaf(path []frame) (device.PageID, error) {
+	for lv := len(path) - 1; lv >= 0; lv-- {
+		f := path[lv]
+		if f.slot == 0 {
+			continue
+		}
+		pid := f.node.children[f.slot-1]
+		for {
+			buf, err := t.store.ReadPage(pid)
+			if err != nil {
+				return device.InvalidPage, err
+			}
+			kind, err := nodeKind(buf)
+			if err != nil {
+				return device.InvalidPage, err
+			}
+			if kind == nodeBFLeaf {
+				return pid, nil
+			}
+			n, err := decodeInternal(buf)
+			if err != nil {
+				return device.InvalidPage, err
+			}
+			pid = n.children[len(n.children)-1]
+		}
+	}
+	return device.InvalidPage, nil
 }
 
 // keyPages maps a surviving key to the page groups it matched.
@@ -403,27 +548,61 @@ func (t *Tree) packHalves(leaf *bfLeaf, lowKeys, highKeys []keyPages) (*bfLeaf, 
 	return left, right, nil
 }
 
-// insertIntoParents adds a separator and new right child along the
-// descent path, splitting internal nodes as needed and growing a new
-// root when the split reaches the top.
-func (t *Tree) insertIntoParents(path []frame, sepKey uint64, newChild device.PageID) error {
+// cowPath rewrites the recorded descent path copy-on-write, bottom-up:
+// at the deepest frame the child at the taken slot is replaced by
+// newChild and (sep.key, sep.child) is inserted to its right; above, the
+// replacement propagates. Every touched internal node is written to a
+// freshly allocated page; overfull nodes split into two fresh pages; if
+// a separator reaches past the top frame, a new root is written. The
+// function returns the new root pid, the net number of internal pages
+// added (splits and root growth), the height delta (0 or 1), and the
+// old path pages to retire — which the caller hands to retire() only
+// after publishing the new snapshot, so an error mid-way never poisons
+// the free list with reachable pages.
+func (t *Tree) cowPath(path []frame, newChild device.PageID, sep *sepInsert) (newRoot device.PageID, added uint64, grew int, retired []device.PageID, err error) {
 	buf := make([]byte, t.store.PageSize())
 	capacity := internalCapacity(t.store.PageSize())
+	// Pages allocated here are unreachable until the caller publishes;
+	// on error they go straight back to the free list.
+	var allocated []device.PageID
+	fail := func(err error) (device.PageID, uint64, int, []device.PageID, error) {
+		t.store.Free(allocated...)
+		return 0, 0, 0, nil, err
+	}
+	writeNode := func(n *internalNode) (device.PageID, error) {
+		pid := t.store.Allocate(1)
+		allocated = append(allocated, pid)
+		if err := encodeInternal(buf, n); err != nil {
+			return 0, err
+		}
+		if err := t.store.WritePage(pid, buf); err != nil {
+			return 0, err
+		}
+		return pid, nil
+	}
 	for level := len(path) - 1; level >= 0; level-- {
 		f := path[level]
 		n := f.node
-		n.keys = append(n.keys, 0)
-		copy(n.keys[f.slot+1:], n.keys[f.slot:])
-		n.keys[f.slot] = sepKey
-		n.children = append(n.children, 0)
-		copy(n.children[f.slot+2:], n.children[f.slot+1:])
-		n.children[f.slot+1] = newChild
-		if len(n.children) <= capacity {
-			if err := encodeInternal(buf, n); err != nil {
-				return err
-			}
-			return t.store.WritePage(f.pid, buf)
+		n.children[f.slot] = newChild
+		if sep != nil {
+			n.keys = append(n.keys, 0)
+			copy(n.keys[f.slot+1:], n.keys[f.slot:])
+			n.keys[f.slot] = sep.key
+			n.children = append(n.children, 0)
+			copy(n.children[f.slot+2:], n.children[f.slot+1:])
+			n.children[f.slot+1] = sep.child
 		}
+		retired = append(retired, f.pid)
+		if len(n.children) <= capacity {
+			pid, err := writeNode(n)
+			if err != nil {
+				return fail(err)
+			}
+			newChild = pid
+			sep = nil
+			continue
+		}
+		// Internal split: both halves on fresh pages.
 		mid := len(n.keys) / 2
 		upKey := n.keys[mid]
 		right := &internalNode{
@@ -432,35 +611,27 @@ func (t *Tree) insertIntoParents(path []frame, sepKey uint64, newChild device.Pa
 		}
 		n.keys = n.keys[:mid]
 		n.children = n.children[:mid+1]
-		rightPid := t.store.Allocate(1)
-		if err := encodeInternal(buf, n); err != nil {
-			return err
+		leftPid, err := writeNode(n)
+		if err != nil {
+			return fail(err)
 		}
-		if err := t.store.WritePage(f.pid, buf); err != nil {
-			return err
+		rightPid, err := writeNode(right)
+		if err != nil {
+			return fail(err)
 		}
-		if err := encodeInternal(buf, right); err != nil {
-			return err
-		}
-		if err := t.store.WritePage(rightPid, buf); err != nil {
-			return err
-		}
-		t.numNodes++
-		sepKey = upKey
-		newChild = rightPid
+		added++
+		newChild = leftPid
+		sep = &sepInsert{key: upKey, child: rightPid}
 	}
-	// Root split (or first split of a single-leaf tree).
-	oldRoot := t.root
-	newRoot := &internalNode{keys: []uint64{sepKey}, children: []device.PageID{oldRoot, newChild}}
-	rootPid := t.store.Allocate(1)
-	if err := encodeInternal(buf, newRoot); err != nil {
-		return err
+	if sep == nil {
+		return newChild, added, 0, retired, nil
 	}
-	if err := t.store.WritePage(rootPid, buf); err != nil {
-		return err
+	// Root grows one level (also the first split of a single-leaf tree).
+	root := &internalNode{keys: []uint64{sep.key}, children: []device.PageID{newChild, sep.child}}
+	rootPid, err := writeNode(root)
+	if err != nil {
+		return fail(err)
 	}
-	t.root = rootPid
-	t.height++
-	t.numNodes++
-	return nil
+	added++
+	return rootPid, added, 1, retired, nil
 }

@@ -52,8 +52,8 @@ func TestInsertIntoExistingPage(t *testing.T) {
 			t.Fatalf("re-insert %d: %v", k, err)
 		}
 	}
-	if tr.inserts != 0 {
-		t.Errorf("re-inserting present keys recorded %d drift inserts", tr.inserts)
+	if got := tr.loadMeta().inserts; got != 0 {
+		t.Errorf("re-inserting present keys recorded %d drift inserts", got)
 	}
 	if tr.NumKeys() != before {
 		t.Error("re-inserts changed key count")

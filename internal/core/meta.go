@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"bftree/internal/device"
+)
+
+// treeMeta is one immutable snapshot of the tree's metadata. The writer
+// builds a fresh treeMeta for every mutation that changes it and
+// publishes it with a single atomic pointer store; every probe loads
+// exactly one snapshot at descent start and never observes a torn mix
+// of old root and new height (or stale counters with a new root). The
+// struct is never mutated after publication.
+type treeMeta struct {
+	root      device.PageID
+	firstLeaf device.PageID
+	height    int
+	numLeaves uint64
+	numNodes  uint64
+	numKeys   uint64 // distinct keys indexed at build time (+ appends)
+
+	inserts uint64 // keys added after build (fpp drift, Equation 14)
+	deletes uint64 // keys logically deleted without filter support
+}
+
+// loadMeta returns the current snapshot.
+func (t *Tree) loadMeta() *treeMeta { return t.meta.Load() }
+
+// publish installs a snapshot derived from the current one. Only the
+// writer (holding writeMu) calls it; readers see either the previous or
+// the new snapshot, atomically.
+func (t *Tree) publish(mut func(m *treeMeta)) {
+	m := *t.meta.Load()
+	mut(&m)
+	t.meta.Store(&m)
+}
+
+// epochs is the reader-registration side of the tree's epoch-based page
+// reclamation. Probes are short, so the scheme is a two-bucket
+// epoch counter: a reader registers in the bucket of the current epoch
+// for the duration of one probe; the single writer advances the epoch
+// only when the bucket the new epoch will reuse has drained, which
+// guarantees each bucket holds readers of at most one unretired epoch.
+//
+// Invariant the reclamation relies on: a page retired (made unreachable
+// from the published snapshot) during epoch e can be held only by
+// readers that entered during epoch <= e, because a reader entering in
+// epoch e+1 entered after the flip to e+1, which the writer performed
+// after publishing the snapshot that dropped the page. Those readers
+// all sit in buckets that must drain before the writer flips to e+2 —
+// so pages retired during epoch e are freed no earlier than the flip to
+// e+2.
+type epochs struct {
+	epoch  atomic.Uint64
+	active [2]atomic.Int64
+}
+
+// enter registers the caller as a reader and returns the epoch it
+// registered under (pass it to exit). The recheck loop guards against
+// registering in a bucket the writer flipped away from between the load
+// and the increment; with a single writer it retries at most a handful
+// of times.
+func (e *epochs) enter() uint64 {
+	for {
+		ep := e.epoch.Load()
+		e.active[ep&1].Add(1)
+		if e.epoch.Load() == ep {
+			return ep
+		}
+		e.active[ep&1].Add(-1)
+	}
+}
+
+// exit deregisters a reader that entered at epoch ep.
+func (e *epochs) exit(ep uint64) {
+	e.active[ep&1].Add(-1)
+}
+
+// tryAdvance flips to the next epoch if the bucket that epoch will use
+// has drained (i.e. every reader from epoch-1 and earlier has exited).
+// Only the writer calls it. It reports whether the flip happened.
+func (e *epochs) tryAdvance() bool {
+	ep := e.epoch.Load()
+	if e.active[(ep+1)&1].Load() != 0 {
+		return false
+	}
+	e.epoch.Store(ep + 1)
+	return true
+}
+
+// beginProbe registers the calling goroutine as a reader and returns
+// the snapshot to probe against. Every read-path entry point pairs it
+// with endProbe; while registered, no page reachable from the returned
+// snapshot (or from any older one the reader may still traverse via
+// frozen leaf-chain pointers) can be recycled.
+func (t *Tree) beginProbe() (*treeMeta, uint64) {
+	ep := t.readers.enter()
+	return t.meta.Load(), ep
+}
+
+// endProbe deregisters a reader.
+func (t *Tree) endProbe(ep uint64) {
+	t.readers.exit(ep)
+}
+
+// retire records pages that the just-published snapshot no longer
+// reaches. They are freed for reuse only after a full epoch grace
+// period (see epochs). Writer-only, under writeMu.
+func (t *Tree) retire(pids ...device.PageID) {
+	t.limboCur = append(t.limboCur, pids...)
+}
+
+// reclaim attempts one epoch flip and, on success, returns the pages
+// retired two flips ago to the store's free list. Writer-only, under
+// writeMu; called opportunistically after each structural change, so
+// reclamation keeps pace with mutation without ever blocking a reader
+// or the writer.
+func (t *Tree) reclaim() {
+	if !t.readers.tryAdvance() {
+		return
+	}
+	if len(t.limboPrev) > 0 {
+		t.store.Free(t.limboPrev...)
+	}
+	t.limboPrev = t.limboCur
+	t.limboCur = nil
+}

@@ -36,6 +36,7 @@ var metaMagic = [4]byte{'B', 'F', 'T', '1'}
 // paper stresses that the small index enables fast rebuilds; persistence
 // makes reopening free.
 func (t *Tree) MarshalMeta() []byte {
+	m := t.loadMeta()
 	buf := make([]byte, metaSize)
 	copy(buf[0:4], metaMagic[:])
 	binary.LittleEndian.PutUint64(buf[4:12], math.Float64bits(t.opts.FPP))
@@ -45,14 +46,14 @@ func (t *Tree) MarshalMeta() []byte {
 	if t.opts.ParallelProbe {
 		buf[21] = 1
 	}
-	binary.LittleEndian.PutUint64(buf[22:30], uint64(t.root))
-	binary.LittleEndian.PutUint64(buf[30:38], uint64(t.firstLeaf))
-	binary.LittleEndian.PutUint32(buf[38:42], uint32(t.height))
-	binary.LittleEndian.PutUint64(buf[42:50], t.numLeaves)
-	binary.LittleEndian.PutUint64(buf[50:58], t.numNodes)
-	binary.LittleEndian.PutUint64(buf[58:66], t.numKeys)
-	binary.LittleEndian.PutUint64(buf[66:74], t.inserts)
-	binary.LittleEndian.PutUint64(buf[74:82], t.deletes)
+	binary.LittleEndian.PutUint64(buf[22:30], uint64(m.root))
+	binary.LittleEndian.PutUint64(buf[30:38], uint64(m.firstLeaf))
+	binary.LittleEndian.PutUint32(buf[38:42], uint32(m.height))
+	binary.LittleEndian.PutUint64(buf[42:50], m.numLeaves)
+	binary.LittleEndian.PutUint64(buf[50:58], m.numNodes)
+	binary.LittleEndian.PutUint64(buf[58:66], m.numKeys)
+	binary.LittleEndian.PutUint64(buf[66:74], m.inserts)
+	binary.LittleEndian.PutUint64(buf[74:82], m.deletes)
 	binary.LittleEndian.PutUint32(buf[82:86], uint32(t.fieldIdx))
 	return buf
 }
@@ -87,11 +88,13 @@ func Open(store *pagestore.Store, file *heapfile.File, meta []byte) (*Tree, erro
 		return nil, fmt.Errorf("%w: field index %d out of schema", ErrCorrupt, fieldIdx)
 	}
 	t := &Tree{
-		store:     store,
-		file:      file,
-		fieldIdx:  fieldIdx,
-		opts:      o,
-		geo:       geo,
+		store:    store,
+		file:     file,
+		fieldIdx: fieldIdx,
+		opts:     o,
+		geo:      geo,
+	}
+	m := &treeMeta{
 		root:      device.PageID(binary.LittleEndian.Uint64(meta[22:30])),
 		firstLeaf: device.PageID(binary.LittleEndian.Uint64(meta[30:38])),
 		height:    int(binary.LittleEndian.Uint32(meta[38:42])),
@@ -101,8 +104,9 @@ func Open(store *pagestore.Store, file *heapfile.File, meta []byte) (*Tree, erro
 		inserts:   binary.LittleEndian.Uint64(meta[66:74]),
 		deletes:   binary.LittleEndian.Uint64(meta[74:82]),
 	}
+	t.meta.Store(m)
 	// Sanity-probe the root so corrupt metadata fails fast.
-	buf, err := store.ReadPage(t.root)
+	buf, err := store.ReadPage(m.root)
 	if err != nil {
 		return nil, fmt.Errorf("bftree: open: %w", err)
 	}
@@ -116,13 +120,36 @@ func Open(store *pagestore.Store, file *heapfile.File, meta []byte) (*Tree, erro
 // options, discarding accumulated fpp drift from inserts and deletes.
 // "The smaller size enables fast rebuilds if needed" (Section 1.4): a
 // BF-Tree rebuild is one sequential pass over the data and one over the
-// new leaves. The rebuilt tree writes fresh pages on the same store; the
-// old pages are abandoned (the simulated store does not reclaim space).
+// new leaves. The fresh tree is published as one atomic snapshot, so
+// probes running concurrently see either the drifted or the rebuilt
+// index; every page of the old tree is retired and returns to the
+// store's free list once the epoch grace period passes.
 func (t *Tree) Rebuild() error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	old := t.loadMeta()
+	// Collect the old tree's pages (writer-side walk) before the new
+	// snapshot replaces it.
+	retired, err := t.internalPagesOf(old)
+	if err != nil {
+		return err
+	}
+	pid := old.firstLeaf
+	for pid != device.InvalidPage {
+		retired = append(retired, pid)
+		var stats ProbeStats
+		leaf, err := t.readLeaf(pid, &stats)
+		if err != nil {
+			return err
+		}
+		pid = leaf.next
+	}
 	fresh, err := BulkLoad(t.store, t.file, t.fieldIdx, t.opts)
 	if err != nil {
 		return err
 	}
-	*t = *fresh
+	t.meta.Store(fresh.loadMeta())
+	t.retire(retired...)
+	t.reclaim()
 	return nil
 }

@@ -31,8 +31,10 @@ func (t *Tree) rangeScan(lo, hi uint64, optimize bool) (*Result, error) {
 	if lo > hi {
 		return nil, fmt.Errorf("%w: range [%d,%d] inverted", ErrOptions, lo, hi)
 	}
+	m, ep := t.beginProbe()
+	defer t.endProbe(ep)
 	res := &Result{}
-	leaf, _, err := t.descend(lo, &res.Stats)
+	leaf, _, err := t.descend(m.root, lo, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +65,9 @@ func (t *Tree) rangeScan(lo, hi uint64, optimize bool) (*Result, error) {
 }
 
 // overlapSpan returns the size of the key overlap between a leaf and the
-// scan range.
+// scan range, saturating at MaxUint64 instead of wrapping when the
+// overlap covers the whole key domain (which would otherwise select the
+// boundary enumeration for an un-enumerable range).
 func overlapSpan(leaf *bfLeaf, lo, hi uint64) uint64 {
 	a, b := leaf.minKey, leaf.maxKey
 	if lo > a {
@@ -74,6 +78,9 @@ func overlapSpan(leaf *bfLeaf, lo, hi uint64) uint64 {
 	}
 	if b < a {
 		return 0
+	}
+	if b-a == ^uint64(0) {
+		return ^uint64(0)
 	}
 	return b - a + 1
 }
@@ -188,7 +195,9 @@ func (t *Tree) Intersect(other *Tree, keyThis, keyOther uint64) ([]device.PageID
 // candidatePages runs the index part of Algorithm 1 only: descend, probe,
 // and return candidate data pages without fetching them.
 func (t *Tree) candidatePages(key uint64, stats *ProbeStats) ([]device.PageID, error) {
-	leaf, _, err := t.descend(key, stats)
+	m, ep := t.beginProbe()
+	defer t.endProbe(ep)
+	leaf, _, err := t.descend(m.root, key, stats)
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,7 @@ func TestChooseShapePKStaysFine(t *testing.T) {
 	fx := newFixture(t, 30000, 11)
 	tr := fx.build(t, 0, Options{FPP: 1e-3})
 	var stats ProbeStats
-	leaf, _, err := tr.descend(1000, &stats)
+	leaf, _, err := tr.descend(tr.Root(), 1000, &stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestChooseShapeHighCardCoarsens(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats ProbeStats
-	leaf, _, err := tr.descend(10, &stats)
+	leaf, _, err := tr.descend(tr.Root(), 10, &stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestGranularityOptionRespectedAsFloor(t *testing.T) {
 	fx := newFixture(t, 20000, 11)
 	tr := fx.build(t, 0, Options{FPP: 1e-3, Granularity: 4})
 	var stats ProbeStats
-	leaf, _, err := tr.descend(500, &stats)
+	leaf, _, err := tr.descend(tr.Root(), 500, &stats)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,34 +52,37 @@ func (t *Tree) Options() Options { return t.opts }
 func (t *Tree) Geometry() Geometry { return t.geo }
 
 // Height returns the number of levels, BF-leaves included (Equation 7).
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int { return t.loadMeta().height }
 
 // NumLeaves returns the BF-leaf count (Equation 6).
-func (t *Tree) NumLeaves() uint64 { return t.numLeaves }
+func (t *Tree) NumLeaves() uint64 { return t.loadMeta().numLeaves }
 
-// NumNodes returns the total page count of the index; size in bytes is
-// NumNodes × page size (Equation 10).
-func (t *Tree) NumNodes() uint64 { return t.numNodes }
+// NumNodes returns the total live page count of the index; size in
+// bytes is NumNodes × page size (Equation 10). Pages retired by
+// copy-on-write structural changes are excluded (they return to the
+// store's free list after a grace period).
+func (t *Tree) NumNodes() uint64 { return t.loadMeta().numNodes }
 
 // NumKeys returns the number of distinct keys indexed at build time.
-func (t *Tree) NumKeys() uint64 { return t.numKeys }
+func (t *Tree) NumKeys() uint64 { return t.loadMeta().numKeys }
 
 // SizeBytes returns the index footprint in bytes.
-func (t *Tree) SizeBytes() uint64 { return t.numNodes * uint64(t.store.PageSize()) }
+func (t *Tree) SizeBytes() uint64 { return t.loadMeta().numNodes * uint64(t.store.PageSize()) }
 
-// Root returns the root page id.
-func (t *Tree) Root() device.PageID { return t.root }
+// Root returns the root page id of the current snapshot.
+func (t *Tree) Root() device.PageID { return t.loadMeta().root }
 
 // EffectiveFPP estimates the current false positive probability after
 // post-build inserts and deletes: Equation 14 for inserts, plus the
 // additive delete term of Section 7.
 func (t *Tree) EffectiveFPP() float64 {
+	m := t.loadMeta()
 	fpp := t.opts.FPP
-	if t.numKeys > 0 && t.inserts > 0 {
-		fpp = bloom.DriftedFPP(fpp, float64(t.inserts)/float64(t.numKeys))
+	if m.numKeys > 0 && m.inserts > 0 {
+		fpp = bloom.DriftedFPP(fpp, float64(m.inserts)/float64(m.numKeys))
 	}
-	if t.opts.Filter == StandardFilter && t.numKeys > 0 && t.deletes > 0 {
-		fpp += float64(t.deletes) / float64(t.numKeys)
+	if t.opts.Filter == StandardFilter && m.numKeys > 0 && m.deletes > 0 {
+		fpp += float64(m.deletes) / float64(m.numKeys)
 		if fpp > 1 {
 			fpp = 1
 		}
@@ -90,13 +93,21 @@ func (t *Tree) EffectiveFPP() float64 {
 // InternalPages returns the ids of all internal (non-leaf) pages, for
 // pre-warming a buffer cache in warm-cache experiments.
 func (t *Tree) InternalPages() ([]device.PageID, error) {
-	if t.height == 1 {
+	m, ep := t.beginProbe()
+	defer t.endProbe(ep)
+	return t.internalPagesOf(m)
+}
+
+// internalPagesOf walks the internal levels of one snapshot. Callers
+// must hold a reader registration (or be the writer).
+func (t *Tree) internalPagesOf(m *treeMeta) ([]device.PageID, error) {
+	if m.height == 1 {
 		return nil, nil
 	}
 	var out []device.PageID
 	var walk func(pid device.PageID, depth int) error
 	walk = func(pid device.PageID, depth int) error {
-		if depth == t.height-1 {
+		if depth == m.height-1 {
 			return nil
 		}
 		out = append(out, pid)
@@ -115,7 +126,7 @@ func (t *Tree) InternalPages() ([]device.PageID, error) {
 		}
 		return nil
 	}
-	if err := walk(t.root, 0); err != nil {
+	if err := walk(m.root, 0); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -131,10 +142,11 @@ func (t *Tree) readLeaf(pid device.PageID, stats *ProbeStats) (*bfLeaf, error) {
 	return decodeBFLeaf(buf)
 }
 
-// descend walks the internal levels to the leftmost leaf that may hold
-// key, charging one index read per level.
-func (t *Tree) descend(key uint64, stats *ProbeStats) (*bfLeaf, device.PageID, error) {
-	pid := t.root
+// descend walks the internal levels from root to the leftmost leaf that
+// may hold key, charging one index read per level. The root comes from
+// the caller's snapshot, so a whole probe sees one consistent tree.
+func (t *Tree) descend(root device.PageID, key uint64, stats *ProbeStats) (*bfLeaf, device.PageID, error) {
+	pid := root
 	for {
 		buf, err := t.store.ReadPage(pid)
 		if err != nil {
@@ -183,8 +195,10 @@ func (t *Tree) SearchFirst(key uint64) (*Result, error) {
 }
 
 func (t *Tree) search(key uint64, firstOnly bool) (*Result, error) {
+	m, ep := t.beginProbe()
+	defer t.endProbe(ep)
 	res := &Result{}
-	leaf, _, err := t.descend(key, &res.Stats)
+	leaf, _, err := t.descend(m.root, key, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +279,8 @@ func (t *Tree) probeLeaf(leaf *bfLeaf, key uint64, firstOnly bool, res *Result) 
 
 // String summarizes the tree.
 func (t *Tree) String() string {
+	m := t.loadMeta()
 	return fmt.Sprintf("bftree{fpp=%g height=%d leaves=%d nodes=%d keys=%d size=%dB}",
-		t.opts.FPP, t.height, t.numLeaves, t.numNodes, t.numKeys, t.SizeBytes())
+		t.opts.FPP, m.height, m.numLeaves, m.numNodes, m.numKeys,
+		m.numNodes*uint64(t.store.PageSize()))
 }

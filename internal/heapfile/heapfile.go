@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"bftree/internal/device"
 	"bftree/internal/pagestore"
@@ -74,13 +75,16 @@ func (s Schema) Set(tuple []byte, fieldIdx int, v uint64) {
 
 const pageHeaderSize = 2 // uint16 tuple count
 
-// File is a heap file of fixed-size tuples on a page store.
+// File is a heap file of fixed-size tuples on a page store. A File is
+// safe for concurrent readers; Extend may run concurrently with readers
+// (append workloads under a live writer) because the growing counters
+// are atomic — but only one goroutine may Extend at a time.
 type File struct {
 	store     *pagestore.Store
 	schema    Schema
 	firstPage device.PageID
-	numPages  uint64
-	numTuples uint64
+	numPages  atomic.Uint64
+	numTuples atomic.Uint64
 	perPage   int
 }
 
@@ -170,14 +174,15 @@ func (b *Builder) Finish() (*File, error) {
 	if !b.allocated {
 		return nil, fmt.Errorf("heapfile: empty relation")
 	}
-	return &File{
+	f := &File{
 		store:     b.store,
 		schema:    b.schema,
 		firstPage: b.first,
-		numPages:  b.pages,
-		numTuples: b.tuples,
 		perPage:   b.perPage,
-	}, nil
+	}
+	f.numPages.Store(b.pages)
+	f.numTuples.Store(b.tuples)
+	return f, nil
 }
 
 // Open reconstructs a file view over pages already resident on a store
@@ -195,21 +200,27 @@ func Open(store *pagestore.Store, schema Schema, firstPage device.PageID, numPag
 	if perPage < 1 {
 		return nil, fmt.Errorf("%w: tuple size %d exceeds page capacity", ErrSchema, schema.TupleSize)
 	}
-	return &File{
+	f := &File{
 		store:     store,
 		schema:    schema,
 		firstPage: firstPage,
-		numPages:  numPages,
-		numTuples: numTuples,
 		perPage:   perPage,
-	}, nil
+	}
+	f.numPages.Store(numPages)
+	f.numTuples.Store(numTuples)
+	return f, nil
 }
 
 // Extend grows the file view by pages/tuples written contiguously after
 // its current end (append workloads: a later builder on the same store).
+// Call it only after the pages are durably written; concurrent probes
+// then see either the pre- or post-extension view, both consistent. The
+// page count grows first — the pages behind it are already durable by
+// contract — so a reader that sees the new tuple count can always reach
+// the page a tuple ordinal maps to.
 func (f *File) Extend(pages, tuples uint64) {
-	f.numPages += pages
-	f.numTuples += tuples
+	f.numPages.Add(pages)
+	f.numTuples.Add(tuples)
 }
 
 // Schema returns the relation's schema.
@@ -223,10 +234,10 @@ func (f *File) Store() *pagestore.Store { return f.store }
 func (f *File) FirstPage() device.PageID { return f.firstPage }
 
 // NumPages returns the page count of the file.
-func (f *File) NumPages() uint64 { return f.numPages }
+func (f *File) NumPages() uint64 { return f.numPages.Load() }
 
 // NumTuples returns the tuple count of the file.
-func (f *File) NumTuples() uint64 { return f.numTuples }
+func (f *File) NumTuples() uint64 { return f.numTuples.Load() }
 
 // TuplesPerPage returns the full-page tuple capacity.
 func (f *File) TuplesPerPage() int { return f.perPage }
@@ -239,9 +250,9 @@ func (f *File) PageOf(ordinal uint64) device.PageID {
 // ReadPageTuples reads data page id and returns its packed tuples as
 // sub-slices of one page buffer.
 func (f *File) ReadPageTuples(id device.PageID) ([][]byte, error) {
-	if id < f.firstPage || id >= f.firstPage+device.PageID(f.numPages) {
+	if np := f.numPages.Load(); id < f.firstPage || id >= f.firstPage+device.PageID(np) {
 		return nil, fmt.Errorf("heapfile: page %d outside file [%d,%d)",
-			id, f.firstPage, f.firstPage+device.PageID(f.numPages))
+			id, f.firstPage, f.firstPage+device.PageID(np))
 	}
 	buf, err := f.store.ReadPage(id)
 	if err != nil {
@@ -280,7 +291,7 @@ func (f *File) SearchPage(id device.PageID, fieldIdx int, key uint64) ([][]byte,
 // the slot within the page, and the raw tuple. Iteration stops early if
 // fn returns false.
 func (f *File) Scan(fn func(id device.PageID, slot int, tuple []byte) bool) error {
-	for p := uint64(0); p < f.numPages; p++ {
+	for p := uint64(0); p < f.numPages.Load(); p++ {
 		id := f.firstPage + device.PageID(p)
 		tuples, err := f.ReadPageTuples(id)
 		if err != nil {
@@ -321,5 +332,5 @@ func (f *File) PageKeyRange(id device.PageID, fieldIdx int) (minKey, maxKey uint
 
 // SizeBytes returns the file size in bytes (pages × page size).
 func (f *File) SizeBytes() uint64 {
-	return f.numPages * uint64(f.store.PageSize())
+	return f.numPages.Load() * uint64(f.store.PageSize())
 }

@@ -16,8 +16,13 @@
 // preserving exact global LRU semantics; large caches trade that for
 // per-shard LRU, which is the standard buffer-pool compromise. Probes
 // running concurrently with writes to the same page may briefly observe
-// the pre-write image; the Tree-level contract (see DESIGN.md) is
-// concurrent readers with external coordination for writers.
+// the pre-write image — never a torn one — which is what the Tree-level
+// single-writer/multi-reader contract (see DESIGN.md §3) builds on.
+//
+// The store also keeps a free list: Free returns page ids whose
+// contents are dead (the tree retires copy-on-write pages here after
+// its epoch grace period), and single-page Allocations recycle them, so
+// structural churn does not grow the device without bound.
 package pagestore
 
 import (
@@ -37,6 +42,15 @@ type Store struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// freeList recycles page ids released through Free, so copy-on-write
+	// structural changes reuse retired pages instead of growing the
+	// device forever. Freed pages stay allocated on the device; only
+	// their ids circulate.
+	freeMu   sync.Mutex
+	freeList []device.PageID
+	freed    atomic.Uint64
+	reused   atomic.Uint64
 }
 
 // Option configures a Store.
@@ -83,9 +97,51 @@ func (s *Store) Device() *device.Device { return s.dev }
 // PageSize returns the page size in bytes.
 func (s *Store) PageSize() int { return s.dev.PageSize() }
 
-// Allocate appends n zeroed pages to the device and returns the first id.
+// Allocate returns n fresh pages, the first id of a contiguous run.
+// Single-page allocations are served from the free list when one is
+// available (recycled pages keep their stale content until the caller
+// writes them); multi-page allocations always extend the device, because
+// the free list holds no contiguity guarantee.
 func (s *Store) Allocate(n int) device.PageID {
+	if n == 1 {
+		s.freeMu.Lock()
+		if k := len(s.freeList); k > 0 {
+			id := s.freeList[k-1]
+			s.freeList = s.freeList[:k-1]
+			s.freeMu.Unlock()
+			s.reused.Add(1)
+			return id
+		}
+		s.freeMu.Unlock()
+	}
 	return s.dev.Allocate(n)
+}
+
+// Free returns pages to the store's free list for reuse by later
+// single-page Allocations. The caller must guarantee that no reader can
+// still reach the pages — the BF-Tree's epoch scheme provides that
+// grace period before retiring copy-on-write pages here.
+func (s *Store) Free(ids ...device.PageID) {
+	if len(ids) == 0 {
+		return
+	}
+	s.freeMu.Lock()
+	s.freeList = append(s.freeList, ids...)
+	s.freeMu.Unlock()
+	s.freed.Add(uint64(len(ids)))
+}
+
+// FreePages reports how many page ids currently sit on the free list.
+func (s *Store) FreePages() int {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	return len(s.freeList)
+}
+
+// FreeListStats reports lifetime totals: pages released through Free and
+// pages recycled by Allocate.
+func (s *Store) FreeListStats() (freed, reused uint64) {
+	return s.freed.Load(), s.reused.Load()
 }
 
 // ReadPage returns the contents of page id. The returned slice is a copy

@@ -1,6 +1,7 @@
 package pagestore
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -270,5 +271,70 @@ func TestPinnedCacheWriteCoherence(t *testing.T) {
 	s.ReadPage(1)
 	if reads := s.Device().Stats().Reads(); reads != 1 {
 		t.Error("write admitted an unwarmed page into a pinned cache")
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	s := New(device.New(device.Memory, 512))
+	first := s.Allocate(4)
+	s.Free(first+1, first+2)
+	if got := s.FreePages(); got != 2 {
+		t.Fatalf("FreePages = %d, want 2", got)
+	}
+	// Single-page allocations recycle freed ids (LIFO).
+	if got := s.Allocate(1); got != first+2 {
+		t.Errorf("first recycled id = %d, want %d", got, first+2)
+	}
+	if got := s.Allocate(1); got != first+1 {
+		t.Errorf("second recycled id = %d, want %d", got, first+1)
+	}
+	if got := s.FreePages(); got != 0 {
+		t.Errorf("FreePages after reuse = %d, want 0", got)
+	}
+	// With the free list drained, allocation extends the device again.
+	if got := s.Allocate(1); got != first+4 {
+		t.Errorf("fresh id = %d, want %d", got, first+4)
+	}
+	freed, reused := s.FreeListStats()
+	if freed != 2 || reused != 2 {
+		t.Errorf("stats freed=%d reused=%d, want 2 and 2", freed, reused)
+	}
+}
+
+func TestFreeListSkipsMultiPageAllocations(t *testing.T) {
+	s := New(device.New(device.Memory, 512))
+	first := s.Allocate(3)
+	s.Free(first, first+1)
+	// A contiguous run must not be served from the (non-contiguous)
+	// free list.
+	if got := s.Allocate(2); got != first+3 {
+		t.Errorf("multi-page allocation = %d, want fresh %d", got, first+3)
+	}
+	if got := s.FreePages(); got != 2 {
+		t.Errorf("free list consumed by multi-page allocation: %d left, want 2", got)
+	}
+}
+
+func TestFreeListConcurrent(t *testing.T) {
+	s := New(device.New(device.Memory, 512))
+	base := s.Allocate(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Free(base + device.PageID(w*8+i%8))
+				s.Allocate(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	freed, reused := s.FreeListStats()
+	if freed != 800 {
+		t.Errorf("freed = %d, want 800", freed)
+	}
+	if reused == 0 {
+		t.Error("no concurrent reuse observed")
 	}
 }
