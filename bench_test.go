@@ -76,6 +76,12 @@ func BenchmarkConcurrentProbe(b *testing.B) { runExperiment(b, "concurrent-probe
 
 func BenchmarkMixedRW(b *testing.B) { runExperiment(b, "mixed-rw") }
 
+// Multi-writer: aggregate in-place insert throughput at 1..8 writer
+// goroutines over disjoint vs contended leaves, demonstrating leaf-level
+// write latching (see internal/bench/multiwriter.go).
+
+func BenchmarkMultiWriter(b *testing.B) { runExperiment(b, "multi-writer") }
+
 // Ablations (DESIGN.md section 4).
 
 func BenchmarkAblationBFGranularity(b *testing.B) { runExperiment(b, "ablation-granularity") }

@@ -19,17 +19,19 @@
 //	idx, _ := bftree.BulkLoad(idxStore, file, "timestamp", bftree.Options{FPP: 1e-3})
 //	res, _ := idx.Search(key)
 //
-// Concurrency: a built Tree is single-writer/multi-reader. Search,
+// Concurrency: a built Tree is multi-writer/multi-reader. Search,
 // SearchFirst, RangeScan and friends may be called from any number of
-// goroutines concurrently with a writer: every probe loads one
-// immutable metadata snapshot and runs lock-free, while structural
-// changes (leaf splits, appends, root growth) are copy-on-write and
-// published atomically, with retired pages recycled through an epoch
-// grace period. Insert, Delete and Flush serialize on an internal
-// writer mutex, so multiple writer goroutines are safe but execute one
-// at a time; a BufferedInserter's own buffer is unsynchronized — use
-// each inserter from a single goroutine. See DESIGN.md §3 for the full
-// contract.
+// goroutines concurrently with writers: every probe loads one
+// immutable metadata snapshot and runs lock-free. Writers run in two
+// tiers: a non-structural Insert or Delete rewrites one BF-leaf in
+// place under a shared tree lock plus that leaf's latch, so writers
+// touching disjoint leaves proceed in parallel; an insert that needs a
+// structural change (leaf split, append, root growth) escalates to an
+// exclusive lock and runs copy-on-write, published atomically, with
+// retired pages recycled through an epoch grace period. Flush and
+// Rebuild take the exclusive lock for their whole batch; a
+// BufferedInserter's own buffer is unsynchronized — use each inserter
+// from a single goroutine. See DESIGN.md §3 for the full contract.
 //
 // Package-level names are thin aliases over the implementation packages
 // under internal/; see DESIGN.md for the full system inventory.
@@ -75,6 +77,22 @@ const (
 const (
 	StandardFilter = core.StandardFilter
 	CountingFilter = core.CountingFilter
+)
+
+// Error sentinels re-exported for errors.Is matching.
+var (
+	// ErrOptions reports invalid build options.
+	ErrOptions = core.ErrOptions
+	// ErrCorrupt reports an undecodable index page or metadata blob.
+	ErrCorrupt = core.ErrCorrupt
+	// ErrKeyRange reports an insert or delete whose data page violates
+	// the ordered/partitioned-relation contract.
+	ErrKeyRange = core.ErrKeyRange
+	// ErrNotIndexed reports a counting-filter Delete whose key→page
+	// association no leaf claims: nothing was removed, no drift was
+	// recorded, and the tree is unchanged — typically a tolerable
+	// not-found rather than a failure.
+	ErrNotIndexed = core.ErrNotIndexed
 )
 
 // NewDevice creates a simulated storage device of the given kind with

@@ -34,6 +34,7 @@ var Experiments = map[string]Runner{
 
 	"concurrent-probe": RunConcurrentProbe,
 	"mixed-rw":         RunMixedRW,
+	"multi-writer":     RunMultiWriter,
 
 	"ablation-granularity": RunAblationGranularity,
 	"ablation-hashes":      RunAblationHashCount,

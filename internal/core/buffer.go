@@ -16,8 +16,9 @@ import (
 //
 // A BufferedInserter is a single-writer handle: its own buffer state is
 // not synchronized, so use it from one goroutine (probes directly on
-// the Tree may run concurrently; the tree-mutating part of Flush
-// serializes on the tree's writer mutex).
+// the Tree may run concurrently; the tree-mutating part of Flush takes
+// the tree's writer lock exclusively, since a batch may need structural
+// changes at any entry — it excludes latched writers for its duration).
 type BufferedInserter struct {
 	tree     *Tree
 	capacity int
@@ -98,7 +99,9 @@ func (b *BufferedInserter) Search(key uint64) (*Result, error) {
 // Flush applies all buffered inserts. Entries are sorted by key and
 // applied leaf by leaf: one descent and one leaf write per touched leaf.
 // Entries that need structural changes (splits, appends past the tail)
-// fall back to the tree's one-at-a-time insert path. On error, every
+// fall back to the tree's one-at-a-time insert path. The whole batch
+// runs under the exclusive writer lock — amortizing leaf writes is the
+// point, so per-leaf latching would buy nothing here. On error, every
 // entry that was not durably applied stays in the buffer — a failed
 // flush loses nothing, and a retry picks up exactly where it stopped.
 func (b *BufferedInserter) Flush() error {
@@ -137,21 +140,14 @@ func (b *BufferedInserter) Flush() error {
 			if e.pid < leaf.minPid || e.pid > leaf.maxPid {
 				break // append or disorder: slow path
 			}
-			if uint64(leaf.numKeys)+1 > t.geo.KeysPerLeaf {
-				break // split needed: slow path
-			}
-			isNew := !leaf.probeOne(leaf.bfIndexOf(e.pid), e.key)
-			if err := leaf.addKey(e.key, e.pid); err != nil {
+			applied, isNew, err := t.absorbIntoLeaf(leaf, e.key, e.pid)
+			if err != nil {
 				return keepRemainder(groupStart, err)
 			}
-			if e.key < leaf.minKey {
-				leaf.minKey = e.key
-			}
-			if e.key > leaf.maxKey {
-				leaf.maxKey = e.key
+			if !applied {
+				break // split needed: slow path
 			}
 			if isNew {
-				leaf.numKeys++
 				newKeys++
 			}
 			i++

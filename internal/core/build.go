@@ -15,13 +15,16 @@ import (
 // live on their own store (which may sit on a different device than the
 // data, reproducing the paper's five storage configurations).
 //
-// Concurrency: the tree is single-writer/multi-reader. All metadata
+// Concurrency: the tree is multi-writer/multi-reader. All metadata
 // lives in an immutable treeMeta snapshot behind an atomic pointer;
-// probes load it once and run lock-free. Structural changes are
-// copy-on-write: they build the new leaves and internal path on freshly
-// allocated pages, publish a new snapshot, and retire the old pages
-// through an epoch grace period (meta.go). Writers serialize on
-// writeMu.
+// probes load it once and run lock-free. Writers split into two tiers
+// (DESIGN.md §3): non-structural inserts and deletes rewrite one BF-leaf
+// in place under the shared writeMu plus that leaf's latch, so writers
+// on disjoint leaves proceed in parallel; structural changes (split,
+// append, internal split, root growth, Rebuild) escalate to the
+// exclusive writeMu and are copy-on-write — they build the new leaves
+// and internal path on freshly allocated pages, publish a new snapshot,
+// and retire the old pages through an epoch grace period (meta.go).
 type Tree struct {
 	store    *pagestore.Store
 	file     *heapfile.File
@@ -32,9 +35,20 @@ type Tree struct {
 	meta    atomic.Pointer[treeMeta]
 	readers epochs
 
-	writeMu   sync.Mutex      // serializes Insert/Delete/Flush/Rebuild
-	limboPrev []device.PageID // retired one flip ago (writer-only)
-	limboCur  []device.PageID // retired since the last flip (writer-only)
+	// writeMu is the writer-tier lock: RLock for leaf-latched in-place
+	// rewrites (many may hold it at once), Lock for structural changes
+	// and Flush/Rebuild (exclusive among all writers). Readers never
+	// touch it.
+	writeMu   sync.RWMutex
+	latches   latchTable      // per-leaf write latches (hash-partitioned)
+	limboPrev []device.PageID // retired one flip ago (exclusive-writer-only)
+	limboCur  []device.PageID // retired since the last flip (exclusive-writer-only)
+
+	// leafWriteFault, when non-nil, is consulted by writeLeaf before
+	// every leaf write; a non-nil return is injected as the write's
+	// error. Test-only: set while the tree is quiescent to exercise
+	// failure paths (e.g. the appendLeaf tail relink).
+	leafWriteFault func(device.PageID) error
 }
 
 // pageKeys is the per-data-page key summary gathered while scanning the

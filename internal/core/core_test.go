@@ -416,14 +416,30 @@ func TestCountingLeafRoundTrip(t *testing.T) {
 			t.Fatalf("key %d lost", k)
 		}
 	}
-	// Counting leaves can remove.
-	if err := back.removeKey(5, 0); err != nil {
+	// Counting leaves can remove; key 5's only association is on page 0,
+	// so its removal reports the last association gone (unless another
+	// key's bits alias it, which 3 hashes over 256 slots make unlikely).
+	lastGone, err := back.removeKey(5, 0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	// Standard leaves cannot.
+	if !lastGone {
+		t.Error("sole association removed but not reported as the last")
+	}
+	// A key claimed by two filters keeps its slot until both are gone.
+	if err := back.addKey(7, 3); err != nil { // second association on filter 3
+		t.Fatal(err)
+	}
+	if lastGone, err := back.removeKey(7, 0); err != nil || lastGone {
+		t.Errorf("removeKey(7, page 0) = (%v, %v), want (false, nil): filter 3 still claims it", lastGone, err)
+	}
+	if lastGone, err := back.removeKey(7, 3); err != nil || !lastGone {
+		t.Errorf("removeKey(7, page 3) = (%v, %v), want (true, nil): last association", lastGone, err)
+	}
+	// Standard leaves cannot remove.
 	so, _ := Options{FPP: 0.01, Hashes: 3}.withDefaults()
 	sl := newBFLeaf(0, 0, so, 256, 1)
-	if err := sl.removeKey(1, 0); err == nil {
+	if _, err := sl.removeKey(1, 0); err == nil {
 		t.Error("standard leaf allowed a delete")
 	}
 }

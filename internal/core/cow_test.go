@@ -241,7 +241,9 @@ func TestSplitFullDomainSpanLeaf(t *testing.T) {
 	if err := tr.writeLeaf(leafPid, leaf); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Insert(50, f.PageOf(50)); err != nil {
+	// A genuinely new key forces the capacity split (a claimed key would
+	// absorb in place regardless of capacity).
+	if err := tr.Insert(150, f.PageOf(50)); err != nil {
 		t.Fatalf("insert into full-domain leaf: %v", err)
 	}
 	if tr.NumLeaves() != 2 {
@@ -450,18 +452,32 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 // are reused by later allocations, so the index's device footprint
 // stays near its live page count instead of growing with every split.
 func TestCOWSplitRecyclesPages(t *testing.T) {
-	f, _ := buildInitialFile(t, 2000)
+	// Sparse even keys: the odd keys inserted below are genuinely new,
+	// which is what pushes a saturated leaf into a split (a claimed key
+	// absorbs in place regardless of capacity).
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = uint64(2 * i)
+	}
+	f, _ := buildKeyedFile(t, keys)
 	idx := pagestore.New(device.New(device.Memory, 128))
 	tr, err := BulkLoad(idx, f, 0, Options{FPP: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Re-inserting present keys with a saturated capacity forces a long
-	// run of splits without needing new data pages.
-	for round := 0; round < 40; round++ {
-		leaf, leafPid, _, err := tr.descendPath(uint64(round*37%2000), true)
+	// Inserting new odd keys into leaves whose capacity is saturated
+	// forces a long run of splits without needing new data pages.
+	splits := 0
+	for round := 0; round < 60; round++ {
+		ord := round * 37 % 2000
+		k := keys[ord] + 1
+		pid := f.PageOf(uint64(ord))
+		leaf, leafPid, _, err := tr.descendPath(k, true)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if pid < leaf.minPid || pid > leaf.maxPid {
+			continue // boundary ordinal routed past its page's leaf
 		}
 		if uint64(leaf.numKeys) < tr.geo.KeysPerLeaf {
 			leaf.numKeys = uint32(tr.geo.KeysPerLeaf)
@@ -469,10 +485,16 @@ func TestCOWSplitRecyclesPages(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		k := uint64(round * 37 % 2000)
-		if err := tr.Insert(k, f.PageOf(k)); err != nil {
+		before := tr.NumLeaves()
+		if err := tr.Insert(k, pid); err != nil {
 			t.Fatal(err)
 		}
+		if tr.NumLeaves() > before {
+			splits++
+		}
+	}
+	if splits == 0 {
+		t.Fatal("no insert forced a split; fixture broken")
 	}
 	freed, reused := idx.FreeListStats()
 	if freed == 0 {

@@ -31,6 +31,38 @@ type sepInsert struct {
 	child device.PageID
 }
 
+// descendLeafPid walks to the leaf pid for key without decoding the
+// leaf image or recording the internal path. The latched insert path
+// uses it: the leaf must be re-read under its latch anyway, so decoding
+// it during the descent would be wasted work on the hot path.
+func (t *Tree) descendLeafPid(key uint64, forInsert bool) (device.PageID, error) {
+	pid := t.loadMeta().root
+	for {
+		buf, err := t.store.ReadPage(pid)
+		if err != nil {
+			return 0, err
+		}
+		kind, err := nodeKind(buf)
+		if err != nil {
+			return 0, err
+		}
+		if kind == nodeBFLeaf {
+			return pid, nil
+		}
+		n, err := decodeInternal(buf)
+		if err != nil {
+			return 0, err
+		}
+		var i int
+		if forInsert {
+			i = sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		} else {
+			i = sort.Search(len(n.keys), func(i int) bool { return key <= n.keys[i] })
+		}
+		pid = n.children[i]
+	}
+}
+
 // descendPath walks to the leaf for key, recording the internal path.
 // Searches use leftmost routing (key <= separator goes left, because
 // duplicates may trail in the left leaf); inserts use rightmost routing
@@ -72,6 +104,11 @@ func (t *Tree) descendPath(key uint64, forInsert bool) (*bfLeaf, device.PageID, 
 
 // writeLeaf serializes and writes a leaf.
 func (t *Tree) writeLeaf(pid device.PageID, l *bfLeaf) error {
+	if t.leafWriteFault != nil {
+		if err := t.leafWriteFault(pid); err != nil {
+			return err
+		}
+	}
 	buf := make([]byte, t.store.PageSize())
 	if err := encodeBFLeaf(buf, l); err != nil {
 		return err
@@ -86,13 +123,112 @@ func (t *Tree) writeLeaf(pid device.PageID, l *bfLeaf) error {
 // file's tail (appends), mirroring the paper's assumption that data stays
 // ordered or partitioned on the indexed attribute.
 //
-// Insert is safe to call concurrently with any number of probes;
-// concurrent Inserts serialize on an internal mutex (the tree is
-// single-writer by construction, see DESIGN.md §3).
+// Insert is safe to call concurrently with any number of probes and
+// writers. A non-structural insert — the leaf absorbs the key in place —
+// runs under the shared writer lock plus the target leaf's latch, so
+// inserts into disjoint leaves proceed in parallel; an insert that needs
+// a structural change (append past the tail, split at capacity)
+// escalates to the exclusive writer lock (DESIGN.md §3).
 func (t *Tree) Insert(key uint64, pid device.PageID) error {
+	if done, err := t.insertLatched(key, pid); done {
+		return err
+	}
+	// Escalate: re-run the full path under the exclusive lock. Another
+	// writer may have done the structural work between the shared-lock
+	// release and this acquisition; insertLocked re-descends, so it
+	// either performs the change itself or lands on the in-place path.
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
 	return t.insertLocked(key, pid)
+}
+
+// absorbIntoLeaf applies one key→page association to a decoded leaf in
+// place: filter update, key-range widening, and the distinct-key count.
+// Shared by the latched and exclusive insert paths and by Flush, so the
+// accounting cannot diverge between them. If the association is new and
+// the leaf sits at its Equation 5 capacity, nothing is changed and
+// applied=false: the caller must split first. An association the target
+// filter already claims is always absorbed in place — it cannot grow
+// the distinct-key count, so capacity is irrelevant.
+//
+// isNew is judged per target filter, not leaf-wide, which makes numKeys
+// a conservative upper bound on the leaf's distinct keys: a key indexed
+// under two page groups counts twice, and the delete side decrements
+// only when the key vanishes from every filter (removeKey's
+// last-association rule) — both rules err on the high side of the
+// capacity check. The leaf-wide alternative (count only keys no filter
+// claims) would undercount as the leaf fills: near design load the
+// chance that some filter false-positively claims a genuinely new key
+// approaches S×fpp, disabling the capacity guard exactly when it
+// matters. A symmetric per-filter decrement on delete is no better:
+// bulk load counts a key spanning two page groups once, so per-filter
+// decrements would push numKeys below the true distinct load and let
+// overloaded filters degrade the fpp silently. The residual cost of
+// the chosen rules — insert-then-delete churn of multi-group keys can
+// ratchet numKeys up — is bounded: every split recounts its halves
+// exactly.
+func (t *Tree) absorbIntoLeaf(leaf *bfLeaf, key uint64, pid device.PageID) (applied, isNew bool, err error) {
+	isNew = !leaf.probeOne(leaf.bfIndexOf(pid), key)
+	if isNew && uint64(leaf.numKeys)+1 > t.geo.KeysPerLeaf {
+		return false, true, nil
+	}
+	if err := leaf.addKey(key, pid); err != nil {
+		return false, false, err
+	}
+	if key < leaf.minKey {
+		leaf.minKey = key
+	}
+	if key > leaf.maxKey {
+		leaf.maxKey = key
+	}
+	if isNew {
+		leaf.numKeys++
+	}
+	return true, isNew, nil
+}
+
+// insertLatched is Insert's leaf-latched fast path: descend under the
+// shared writer lock (the tree structure is frozen; only in-place leaf
+// rewrites may race), latch the target leaf, and absorb the key in
+// place. It reports done=false when the insert needs the exclusive
+// structural path — a page beyond the leaf's range (append or ordering
+// violation, both diagnosed against a stable tree) or a new key landing
+// on a leaf at its Equation 5 capacity (split).
+func (t *Tree) insertLatched(key uint64, pid device.PageID) (done bool, err error) {
+	t.writeMu.RLock()
+	defer t.writeMu.RUnlock()
+	leafPid, err := t.descendLeafPid(key, true)
+	if err != nil {
+		return true, err
+	}
+	mu := t.latches.lock(leafPid)
+	defer mu.Unlock()
+	// Re-read under the latch: another latched writer may have rewritten
+	// the leaf between the descent's read and the latch acquisition. The
+	// shared lock guarantees leafPid is still the leaf that covers key —
+	// in-place rewrites never move a leaf's page range or its separators.
+	var stats ProbeStats
+	leaf, err := t.readLeaf(leafPid, &stats)
+	if err != nil {
+		return true, err
+	}
+	if pid < leaf.minPid || pid > leaf.maxPid {
+		return false, nil
+	}
+	applied, isNew, err := t.absorbIntoLeaf(leaf, key, pid)
+	if err != nil {
+		return true, err
+	}
+	if !applied {
+		return false, nil
+	}
+	if err := t.writeLeaf(leafPid, leaf); err != nil {
+		return true, err
+	}
+	if isNew {
+		t.publish(func(m *treeMeta) { m.inserts++ })
+	}
+	return true, nil
 }
 
 // insertLocked is Insert's body; callers hold writeMu.
@@ -115,32 +251,21 @@ func (t *Tree) insertLocked(key uint64, pid device.PageID) error {
 			ErrKeyRange, pid, leaf.minPid, leaf.maxPid)
 	}
 
-	// Capacity check guards the design fpp (Equation 1): a leaf indexes
-	// at most KeysPerLeaf distinct keys.
-	if uint64(leaf.numKeys)+1 > t.geo.KeysPerLeaf {
+	// Non-structural insert: the leaf keeps its pid and is rewritten in
+	// place. Page writes are atomic at the store level, so a concurrent
+	// probe sees either the pre- or the post-insert leaf image — both
+	// consistent trees. absorbIntoLeaf refuses only a new key on a leaf
+	// at its Equation 5 capacity, which is the split trigger.
+	applied, isNew, err := t.absorbIntoLeaf(leaf, key, pid)
+	if err != nil {
+		return err
+	}
+	if !applied {
 		if err := t.splitLeaf(leaf, leafPid, path); err != nil {
 			return err
 		}
 		// Re-descend: the key now routes to one of the halves.
 		return t.insertLocked(key, pid)
-	}
-
-	// Non-structural insert: the leaf keeps its pid and is rewritten in
-	// place. Page writes are atomic at the store level, so a concurrent
-	// probe sees either the pre- or the post-insert leaf image — both
-	// consistent trees.
-	isNew := !leaf.probeOne(leaf.bfIndexOf(pid), key)
-	if err := leaf.addKey(key, pid); err != nil {
-		return err
-	}
-	if key < leaf.minKey {
-		leaf.minKey = key
-	}
-	if key > leaf.maxKey {
-		leaf.maxKey = key
-	}
-	if isNew {
-		leaf.numKeys++
 	}
 	if err := t.writeLeaf(leafPid, leaf); err != nil {
 		return err
@@ -154,43 +279,111 @@ func (t *Tree) insertLocked(key uint64, pid device.PageID) error {
 // Delete removes one key→page association. Counting-filter leaves
 // delete physically (Section 7's deletable-filter alternative); standard
 // leaves only record the delete, which degrades the effective fpp by the
-// additive term of Section 7 until the leaf is rebuilt. Like Insert,
-// Delete serializes on the writer mutex and runs concurrently with
-// probes.
+// additive term of Section 7 until the leaf is rebuilt.
+//
+// Routing mirrors Search, not Insert: insert routing sends a key equal
+// to a separator right, but duplicates of a separator key trail in the
+// *left* leaf, so Delete descends leftmost and walks every chained leaf
+// whose [minKey, maxKey] covers the key, removing the association from
+// each leaf whose page range holds pid (post-split halves may overlap by
+// one page group, so more than one leaf can claim it). The drift counter
+// moves only when a covering filter actually claimed the association;
+// a counting-filter delete that finds none returns ErrNotIndexed.
+//
+// Delete is always non-structural: it runs under the shared writer lock
+// with per-leaf latches, in parallel with inserts and deletes on other
+// leaves.
 func (t *Tree) Delete(key uint64, pid device.PageID) error {
-	t.writeMu.Lock()
-	defer t.writeMu.Unlock()
-	leaf, leafPid, _, err := t.descendPath(key, true)
+	t.writeMu.RLock()
+	defer t.writeMu.RUnlock()
+	var stats ProbeStats
+	leaf, leafPid, err := t.descend(t.loadMeta().root, key, &stats)
 	if err != nil {
 		return err
 	}
+	// Leftmost descent can land one leaf early when key equals a
+	// separator; skip forward while the leaf's range is entirely below.
 	for key > leaf.maxKey && leaf.next != device.InvalidPage {
-		var stats ProbeStats
-		nl, err := t.readLeaf(leaf.next, &stats)
+		nextPid := leaf.next
+		nl, err := t.readLeaf(nextPid, &stats)
 		if err != nil {
 			return err
 		}
 		if key < nl.minKey {
 			break
 		}
-		leafPid = leaf.next
-		leaf = nl
+		leaf, leafPid = nl, nextPid
 	}
-	if t.opts.Filter != CountingFilter {
-		t.publish(func(m *treeMeta) { m.deletes++ })
+	counting := t.opts.Filter == CountingFilter
+	removed := false
+	for key >= leaf.minKey && key <= leaf.maxKey {
+		if pid >= leaf.minPid && pid <= leaf.maxPid {
+			if counting {
+				r, err := t.deleteLatched(key, pid, leafPid)
+				if err != nil {
+					return err
+				}
+				removed = removed || r
+			} else if leaf.probeOne(leaf.bfIndexOf(pid), key) {
+				// Standard filters cannot clear bits; the association is
+				// claimed, so the logical delete counts toward drift.
+				removed = true
+			}
+		}
+		if leaf.next == device.InvalidPage {
+			break
+		}
+		nextPid := leaf.next
+		nl, err := t.readLeaf(nextPid, &stats)
+		if err != nil {
+			return err
+		}
+		leaf, leafPid = nl, nextPid
+	}
+	if !removed {
+		if counting {
+			return fmt.Errorf("%w: key %d on page %d", ErrNotIndexed, key, pid)
+		}
+		// A logical delete of an unindexed association records nothing:
+		// counting it would overstate the Section 7 drift term.
 		return nil
-	}
-	if err := leaf.removeKey(key, pid); err != nil {
-		return err
-	}
-	if leaf.numKeys > 0 {
-		leaf.numKeys--
-	}
-	if err := t.writeLeaf(leafPid, leaf); err != nil {
-		return err
 	}
 	t.publish(func(m *treeMeta) { m.deletes++ })
 	return nil
+}
+
+// deleteLatched removes the key→page association from the leaf at
+// leafPid under its latch, re-reading the leaf image first (a racing
+// latched writer may have rewritten it since the caller's read) and
+// re-checking coverage. It reports whether an association was removed.
+// The leaf's distinct-key count drops only when removeKey reports the
+// key's last association gone — a key still claimed on other pages of
+// the leaf keeps its slot in the Equation 5 capacity check.
+func (t *Tree) deleteLatched(key uint64, pid device.PageID, leafPid device.PageID) (bool, error) {
+	mu := t.latches.lock(leafPid)
+	defer mu.Unlock()
+	var stats ProbeStats
+	leaf, err := t.readLeaf(leafPid, &stats)
+	if err != nil {
+		return false, err
+	}
+	if key < leaf.minKey || key > leaf.maxKey || pid < leaf.minPid || pid > leaf.maxPid {
+		return false, nil
+	}
+	if !leaf.probeOne(leaf.bfIndexOf(pid), key) {
+		return false, nil // the filter never claimed this association
+	}
+	lastGone, err := leaf.removeKey(key, pid)
+	if err != nil {
+		return false, err
+	}
+	if lastGone && leaf.numKeys > 0 {
+		leaf.numKeys--
+	}
+	if err := t.writeLeaf(leafPid, leaf); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // appendLeaf grows the tree at its right edge: a new leaf covering the
@@ -219,7 +412,7 @@ func (t *Tree) appendLeaf(key uint64, pid device.PageID, lastLeaf *bfLeaf, lastP
 		t.store.Free(newPid) // never linked: immediately reusable
 		return err
 	}
-	newRoot, added, grew, retired, err := t.cowPath(path, lastPid, &sepInsert{key: key, child: newPid})
+	newRoot, added, grew, fresh, retired, err := t.cowPath(path, lastPid, &sepInsert{key: key, child: newPid})
 	if err != nil {
 		t.store.Free(newPid)
 		return err
@@ -230,7 +423,11 @@ func (t *Tree) appendLeaf(key uint64, pid device.PageID, lastLeaf *bfLeaf, lastP
 	// snapshot) or with it fully written — both consistent.
 	lastLeaf.next = newPid
 	if err := t.writeLeaf(lastPid, lastLeaf); err != nil {
+		// The snapshot was never published, so every page cowPath wrote
+		// (including a grown root) is unreachable: free it all now, or
+		// the live + free + limbo page economy leaks.
 		t.store.Free(newPid)
+		t.store.Free(fresh...)
 		return err
 	}
 	t.publish(func(m *treeMeta) {
@@ -297,7 +494,7 @@ func (t *Tree) splitLeaf(leaf *bfLeaf, leafPid device.PageID, path []frame) erro
 		t.store.Free(leftPid, rightPid)
 		return err
 	}
-	newRoot, added, grew, retired, err := t.cowPath(path, leftPid, &sepInsert{key: right.minKey, child: rightPid})
+	newRoot, added, grew, fresh, retired, err := t.cowPath(path, leftPid, &sepInsert{key: right.minKey, child: rightPid})
 	if err != nil {
 		t.store.Free(leftPid, rightPid)
 		return err
@@ -307,17 +504,20 @@ func (t *Tree) splitLeaf(leaf *bfLeaf, leafPid device.PageID, path []frame) erro
 	// means a failed split never leaks linked pages. A probe that
 	// already followed the old pointer keeps traversing the frozen
 	// pre-split leaf, which covers the same keys and pages and answers
-	// identically.
+	// identically. On failure the unpublished cowPath pages are freed
+	// along with the halves — same page-economy rule as appendLeaf.
 	if predPid != device.InvalidPage {
 		var stats ProbeStats
 		pred, err := t.readLeaf(predPid, &stats)
 		if err != nil {
 			t.store.Free(leftPid, rightPid)
+			t.store.Free(fresh...)
 			return err
 		}
 		pred.next = leftPid
 		if err := t.writeLeaf(predPid, pred); err != nil {
 			t.store.Free(leftPid, rightPid)
+			t.store.Free(fresh...)
 			return err
 		}
 	}
@@ -555,19 +755,21 @@ func (t *Tree) packHalves(leaf *bfLeaf, lowKeys, highKeys []keyPages) (*bfLeaf, 
 // freshly allocated page; overfull nodes split into two fresh pages; if
 // a separator reaches past the top frame, a new root is written. The
 // function returns the new root pid, the net number of internal pages
-// added (splits and root growth), the height delta (0 or 1), and the
-// old path pages to retire — which the caller hands to retire() only
-// after publishing the new snapshot, so an error mid-way never poisons
-// the free list with reachable pages.
-func (t *Tree) cowPath(path []frame, newChild device.PageID, sep *sepInsert) (newRoot device.PageID, added uint64, grew int, retired []device.PageID, err error) {
+// added (splits and root growth), the height delta (0 or 1), the pages
+// it allocated (all unreachable until the caller publishes — the caller
+// must Free them if a later step fails before publication, or the page
+// economy leaks), and the old path pages to retire — which the caller
+// hands to retire() only after publishing the new snapshot, so an error
+// mid-way never poisons the free list with reachable pages.
+func (t *Tree) cowPath(path []frame, newChild device.PageID, sep *sepInsert) (newRoot device.PageID, added uint64, grew int, fresh, retired []device.PageID, err error) {
 	buf := make([]byte, t.store.PageSize())
 	capacity := internalCapacity(t.store.PageSize())
 	// Pages allocated here are unreachable until the caller publishes;
 	// on error they go straight back to the free list.
 	var allocated []device.PageID
-	fail := func(err error) (device.PageID, uint64, int, []device.PageID, error) {
+	fail := func(err error) (device.PageID, uint64, int, []device.PageID, []device.PageID, error) {
 		t.store.Free(allocated...)
-		return 0, 0, 0, nil, err
+		return 0, 0, 0, nil, nil, err
 	}
 	writeNode := func(n *internalNode) (device.PageID, error) {
 		pid := t.store.Allocate(1)
@@ -624,7 +826,7 @@ func (t *Tree) cowPath(path []frame, newChild device.PageID, sep *sepInsert) (ne
 		sep = &sepInsert{key: upKey, child: rightPid}
 	}
 	if sep == nil {
-		return newChild, added, 0, retired, nil
+		return newChild, added, 0, allocated, retired, nil
 	}
 	// Root grows one level (also the first split of a single-leaf tree).
 	root := &internalNode{keys: []uint64{sep.key}, children: []device.PageID{newChild, sep.child}}
@@ -633,5 +835,5 @@ func (t *Tree) cowPath(path []frame, newChild device.PageID, sep *sepInsert) (ne
 		return fail(err)
 	}
 	added++
-	return rootPid, added, 1, retired, nil
+	return rootPid, added, 1, allocated, retired, nil
 }

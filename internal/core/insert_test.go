@@ -253,15 +253,22 @@ func TestParallelSplitMatchesSequential(t *testing.T) {
 }
 
 func TestInsertTriggersSplitAtCapacity(t *testing.T) {
-	f, store := buildInitialFile(t, 800)
-	_ = store
+	// Sparse even keys leave odd keys free to insert as genuinely new;
+	// only a new key may trigger the capacity split — a key the leaf
+	// already claims absorbs in place regardless of capacity.
+	keys := make([]uint64, 800)
+	for i := range keys {
+		keys[i] = uint64(2 * i)
+	}
+	f, _ := buildKeyedFile(t, keys)
 	idx := pagestore.New(device.New(device.Memory, 512))
-	tr, err := BulkLoad(idx, f, 0, Options{FPP: 0.5})
+	tr, err := BulkLoad(idx, f, 0, Options{FPP: 1e-4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Saturate one leaf's key budget by marking it full, then insert.
-	leaf, leafPid, _, err := tr.descendPath(100, false)
+	// Saturate one leaf's key budget by marking it full, then insert a
+	// new odd key whose data page the leaf covers.
+	leaf, leafPid, _, err := tr.descendPath(keys[100], false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,21 +277,30 @@ func TestInsertTriggersSplitAtCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 	leavesBefore := tr.NumLeaves()
-	midPage := leaf.minPid + (leaf.maxPid-leaf.minPid)/2
-	if err := tr.Insert(leaf.minKey+1, midPage); err != nil {
+	newKey := leaf.minKey + 1
+	if err := tr.Insert(newKey, f.PageOf(leaf.minKey/2)); err != nil {
 		t.Fatalf("insert at capacity: %v", err)
 	}
 	if tr.NumLeaves() <= leavesBefore {
-		t.Error("insert at capacity should split the leaf")
+		t.Error("new key into a full leaf should split it")
+	}
+	// A key the tree already claims absorbs in place even into a full
+	// leaf: no further split.
+	leavesAfter := tr.NumLeaves()
+	if err := tr.Insert(newKey, f.PageOf(leaf.minKey/2)); err != nil {
+		t.Fatalf("re-insert after split: %v", err)
+	}
+	if tr.NumLeaves() != leavesAfter {
+		t.Error("re-inserting a claimed key split a leaf")
 	}
 	// Tree still finds pre-existing keys.
-	for k := uint64(0); k < 800; k += 11 {
-		res, err := tr.SearchFirst(k)
+	for i := 0; i < len(keys); i += 11 {
+		res, err := tr.SearchFirst(keys[i])
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(res.Tuples) != 1 {
-			t.Fatalf("key %d lost after capacity split", k)
+			t.Fatalf("key %d lost after capacity split", keys[i])
 		}
 	}
 }

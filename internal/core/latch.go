@@ -1,0 +1,45 @@
+package core
+
+import (
+	"sync"
+
+	"bftree/internal/device"
+)
+
+// latchStripes is the size of the leaf-latch hash table. Power of two so
+// stripe selection is a mask; 128 stripes comfortably exceed any
+// realistic writer parallelism, so two writers collide on a stripe only
+// when they target the same leaf (the collision the latch exists for) or
+// by rare hash coincidence (a harmless serialization).
+const latchStripes = 128
+
+// latchTable hash-partitions a set of mutexes over leaf page ids — the
+// leaf-level write latching of DESIGN.md §3. A non-structural insert or
+// delete touches exactly one BF-leaf, so it takes the shared tree lock
+// (Tree.writeMu.RLock) plus the latch of that leaf and rewrites the leaf
+// in place; writers latching distinct leaves proceed in parallel.
+// Structural changes (split, append, internal split, root growth,
+// Rebuild) escalate to the exclusive tree lock instead and never touch
+// the latch table, which keeps the lock order trivially acyclic:
+// writeMu, then at most one leaf latch, never two.
+//
+// The table is keyed by pid, not by leaf identity: after a structural
+// change recycles a pid, the new page at that pid shares the old page's
+// stripe, which is correct because latched writers always re-read the
+// leaf image after acquiring the latch.
+type latchTable struct {
+	stripes [latchStripes]sync.Mutex
+}
+
+// lock acquires the latch covering pid and returns it; the caller
+// unlocks. Holding writeMu (shared or exclusive) is a precondition for
+// latching — the latch serializes same-leaf rewrites, the tree lock
+// keeps the structure those rewrites rely on frozen.
+func (lt *latchTable) lock(pid device.PageID) *sync.Mutex {
+	// Fibonacci hashing decorrelates the sequential pids of a freshly
+	// bulk-loaded leaf level (same constant as the page-cache shards).
+	h := uint64(pid) * 0x9E3779B97F4A7C15
+	mu := &lt.stripes[(h>>32)&(latchStripes-1)]
+	mu.Lock()
+	return mu
+}

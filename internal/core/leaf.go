@@ -93,16 +93,29 @@ func (l *bfLeaf) addKey(key uint64, pid device.PageID) error {
 	return nil
 }
 
-// removeKey deletes key from the filter covering pid; only counting
-// leaves support this.
-func (l *bfLeaf) removeKey(key uint64, pid device.PageID) error {
+// removeKey deletes the key→page association from the filter covering
+// pid; only counting leaves support this. It reports whether that was
+// the key's last association in the leaf — no filter claims the key
+// afterwards — which is when (and only when) the caller may decrement
+// the leaf's distinct-key count. The check is a membership test, so a
+// false positive in another filter keeps numKeys conservatively high;
+// that errs on the safe side of the Equation 5 capacity check.
+func (l *bfLeaf) removeKey(key uint64, pid device.PageID) (lastGone bool, err error) {
 	if l.kind != CountingFilter {
-		return fmt.Errorf("%w: standard filters cannot delete", ErrOptions)
+		return false, fmt.Errorf("%w: standard filters cannot delete", ErrOptions)
 	}
 	if pid < l.minPid || pid > l.maxPid {
-		return fmt.Errorf("%w: pid %d outside [%d,%d]", ErrKeyRange, pid, l.minPid, l.maxPid)
+		return false, fmt.Errorf("%w: pid %d outside [%d,%d]", ErrKeyRange, pid, l.minPid, l.maxPid)
 	}
-	return l.cnt[l.bfIndexOf(pid)].RemoveUint64(key)
+	if err := l.cnt[l.bfIndexOf(pid)].RemoveUint64(key); err != nil {
+		return false, err
+	}
+	for _, c := range l.cnt {
+		if c.ContainsUint64(key) {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // probeOne tests a single filter.

@@ -27,20 +27,30 @@ type treeMeta struct {
 // loadMeta returns the current snapshot.
 func (t *Tree) loadMeta() *treeMeta { return t.meta.Load() }
 
-// publish installs a snapshot derived from the current one. Only the
-// writer (holding writeMu) calls it; readers see either the previous or
-// the new snapshot, atomically.
+// publish installs a snapshot derived from the current one. Callers
+// hold writeMu (shared or exclusive); readers see either the previous
+// or the new snapshot, atomically. The CAS loop makes concurrent
+// publishes by latched writers linearizable: each retries its mutation
+// against the latest snapshot, so no counter increment is lost. A
+// structural writer holds the exclusive lock, so its root/height
+// mutation never races another publish.
 func (t *Tree) publish(mut func(m *treeMeta)) {
-	m := *t.meta.Load()
-	mut(&m)
-	t.meta.Store(&m)
+	for {
+		old := t.meta.Load()
+		m := *old
+		mut(&m)
+		if t.meta.CompareAndSwap(old, &m) {
+			return
+		}
+	}
 }
 
 // epochs is the reader-registration side of the tree's epoch-based page
 // reclamation. Probes are short, so the scheme is a two-bucket
 // epoch counter: a reader registers in the bucket of the current epoch
-// for the duration of one probe; the single writer advances the epoch
-// only when the bucket the new epoch will reuse has drained, which
+// for the duration of one probe; the structural writer (exclusive
+// writeMu — leaf-latched writers never retire or reclaim) advances the
+// epoch only when the bucket the new epoch will reuse has drained, which
 // guarantees each bucket holds readers of at most one unretired epoch.
 //
 // Invariant the reclamation relies on: a page retired (made unreachable
@@ -59,8 +69,8 @@ type epochs struct {
 // enter registers the caller as a reader and returns the epoch it
 // registered under (pass it to exit). The recheck loop guards against
 // registering in a bucket the writer flipped away from between the load
-// and the increment; with a single writer it retries at most a handful
-// of times.
+// and the increment; with one epoch-advancer at a time (the exclusive
+// structural writer) it retries at most a handful of times.
 func (e *epochs) enter() uint64 {
 	for {
 		ep := e.epoch.Load()
@@ -106,14 +116,17 @@ func (t *Tree) endProbe(ep uint64) {
 
 // retire records pages that the just-published snapshot no longer
 // reaches. They are freed for reuse only after a full epoch grace
-// period (see epochs). Writer-only, under writeMu.
+// period (see epochs). Structural-writer-only, under the exclusive
+// writeMu — latched writers allocate and free nothing, so the
+// live + free + limbo == device-pages economy is theirs to ignore.
 func (t *Tree) retire(pids ...device.PageID) {
 	t.limboCur = append(t.limboCur, pids...)
 }
 
 // reclaim attempts one epoch flip and, on success, returns the pages
-// retired two flips ago to the store's free list. Writer-only, under
-// writeMu; called opportunistically after each structural change, so
+// retired two flips ago to the store's free list. Structural-writer-
+// only, under the exclusive writeMu; called opportunistically after
+// each structural change, so
 // reclamation keeps pace with mutation without ever blocking a reader
 // or the writer.
 func (t *Tree) reclaim() {

@@ -28,6 +28,10 @@ var (
 	ErrOptions  = errors.New("bftree: invalid options")
 	ErrCorrupt  = errors.New("bftree: corrupt node")
 	ErrKeyRange = errors.New("bftree: key outside leaf range")
+	// ErrNotIndexed reports a counting-filter Delete whose key→page
+	// association no covering leaf claims: nothing was removed and no
+	// drift was recorded.
+	ErrNotIndexed = errors.New("bftree: association not indexed")
 )
 
 // FilterKind selects the Bloom filter variant used in BF-leaves.

@@ -17,7 +17,8 @@
 // per-shard LRU, which is the standard buffer-pool compromise. Probes
 // running concurrently with writes to the same page may briefly observe
 // the pre-write image — never a torn one — which is what the Tree-level
-// single-writer/multi-reader contract (see DESIGN.md §3) builds on.
+// concurrency contract (lock-free readers, latched writers; see
+// DESIGN.md §3) builds on.
 //
 // The store also keeps a free list: Free returns page ids whose
 // contents are dead (the tree retires copy-on-write pages here after
