@@ -82,6 +82,13 @@ func BenchmarkMixedRW(b *testing.B) { runExperiment(b, "mixed-rw") }
 
 func BenchmarkMultiWriter(b *testing.B) { runExperiment(b, "multi-writer") }
 
+// Churn: sustained insert+delete load on a self-maintaining tree —
+// background limbo reclamation plus drift-triggered compaction holding
+// the Equation 14 fpp under the configured threshold (see
+// internal/bench/churn.go).
+
+func BenchmarkChurn(b *testing.B) { runExperiment(b, "churn") }
+
 // Ablations (DESIGN.md section 4).
 
 func BenchmarkAblationBFGranularity(b *testing.B) { runExperiment(b, "ablation-granularity") }

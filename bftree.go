@@ -28,10 +28,22 @@
 // touching disjoint leaves proceed in parallel; an insert that needs a
 // structural change (leaf split, append, root growth) escalates to an
 // exclusive lock and runs copy-on-write, published atomically, with
-// retired pages recycled through an epoch grace period. Flush and
-// Rebuild take the exclusive lock for their whole batch; a
+// retired pages recycled through an epoch grace period. Flush applies
+// each leaf group under the shared tier, escalating per entry only for
+// structural work; Rebuild takes the exclusive lock. A
 // BufferedInserter's own buffer is unsynchronized — use each inserter
 // from a single goroutine. See DESIGN.md §3 for the full contract.
+//
+// Self-maintaining mode: Options.Maintenance selects who performs
+// structural upkeep — reclaiming retired copy-on-write pages and
+// compacting the index (via Rebuild) when insert/delete drift pushes
+// the effective false positive rate past a threshold (Equation 14,
+// Section 7). Under MaintenanceAuto the tree owns a background
+// maintainer goroutine, woken by probe completions, drift-publishing
+// writers, and a periodic tick; call Close to drain it. The default
+// (MaintenanceManual) keeps maintenance inline and on demand
+// (Tree.Maintain); Tree.MaintenanceStats reports either way. See
+// DESIGN.md §4 for the maintenance contract.
 //
 // Package-level names are thin aliases over the implementation packages
 // under internal/; see DESIGN.md for the full system inventory.
@@ -55,6 +67,15 @@ type (
 	ProbeStats = core.ProbeStats
 	FilterKind = core.FilterKind
 
+	// MaintenancePolicy configures the self-maintaining mode
+	// (Options.Maintenance): auto/manual/disabled, the Equation 14
+	// compaction threshold, the reclaim interval, and the limbo high
+	// water mark. MaintenanceStats is the snapshot returned by
+	// Tree.MaintenanceStats.
+	MaintenanceMode   = core.MaintenanceMode
+	MaintenancePolicy = core.MaintenancePolicy
+	MaintenanceStats  = core.MaintenanceStats
+
 	Schema = heapfile.Schema
 	Field  = heapfile.Field
 	File   = heapfile.File
@@ -77,6 +98,16 @@ const (
 const (
 	StandardFilter = core.StandardFilter
 	CountingFilter = core.CountingFilter
+)
+
+// Maintenance modes for Options.Maintenance.Mode. Manual (the zero
+// value) keeps inline, on-demand maintenance; Auto runs a background
+// maintainer the tree drains on Close; Disabled suppresses all
+// automatic maintenance (explicit Tree.Maintain still works).
+const (
+	MaintenanceManual   = core.MaintenanceManual
+	MaintenanceAuto     = core.MaintenanceAuto
+	MaintenanceDisabled = core.MaintenanceDisabled
 )
 
 // Error sentinels re-exported for errors.Is matching.

@@ -3,6 +3,7 @@ package bftree_test
 import (
 	"encoding/binary"
 	"testing"
+	"time"
 
 	"bftree"
 )
@@ -166,5 +167,53 @@ func TestFacadePersistenceAndBuffer(t *testing.T) {
 	res, err = back.SearchFirst(300)
 	if err != nil || len(res.Tuples) != 1 {
 		t.Fatal("rebuild through facade broken")
+	}
+}
+
+// TestFacadeSelfMaintaining drives the self-maintaining mode through
+// the public API: an auto-maintained tree compacts on delete drift, the
+// stats surface it, and Close drains the maintainer.
+func TestFacadeSelfMaintaining(t *testing.T) {
+	idxStore := bftree.NewStore(bftree.NewDevice(bftree.Memory, 4096), 0)
+	dataStore := bftree.NewStore(bftree.NewDevice(bftree.Memory, 4096), 0)
+	file := buildRelation(t, dataStore, 6000)
+	idx, err := bftree.BulkLoad(idxStore, file, "ts", bftree.Options{
+		FPP: 1e-2,
+		Maintenance: bftree.MaintenancePolicy{
+			Mode:            bftree.MaintenanceAuto,
+			FPPThreshold:    0.05,
+			ReclaimInterval: time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.MaintenanceStats().Running {
+		t.Fatal("auto mode did not start the maintainer")
+	}
+	// Standard-filter deletes accrue Section 7 drift past the threshold.
+	for i := 0; i < 400; i++ {
+		k := uint64(i * 3)
+		if err := idx.Delete(k, file.PageOf(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && idx.MaintenanceStats().Compactions == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if st := idx.MaintenanceStats(); st.Compactions == 0 {
+		t.Fatalf("no auto-compaction through the facade: %+v", st)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := idx.MaintenanceStats()
+	if st.Running || st.LimboPages != 0 {
+		t.Fatalf("Close did not drain the maintainer: %+v", st)
+	}
+	res, err := idx.SearchFirst(3000)
+	if err != nil || len(res.Tuples) != 1 {
+		t.Fatal("closed self-maintained index broken")
 	}
 }

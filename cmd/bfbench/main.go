@@ -9,6 +9,7 @@
 //	bfbench -exp fig5a -scale paper    # the paper's 1 GB relation
 //	bfbench -exp fig13 -tuples 500000  # custom synthetic size
 //	bfbench -exp table3 -probes 5000   # more probes per measurement
+//	bfbench -exp churn                 # self-maintaining mode under 1M-op churn
 //
 // Scale notes: the default scale shrinks the paper's datasets ~16x so a
 // full run stays interactive; ratios (capacity gain, normalized response

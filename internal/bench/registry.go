@@ -35,6 +35,7 @@ var Experiments = map[string]Runner{
 	"concurrent-probe": RunConcurrentProbe,
 	"mixed-rw":         RunMixedRW,
 	"multi-writer":     RunMultiWriter,
+	"churn":            RunChurn,
 
 	"ablation-granularity": RunAblationGranularity,
 	"ablation-hashes":      RunAblationHashCount,

@@ -16,9 +16,10 @@ import (
 //
 // A BufferedInserter is a single-writer handle: its own buffer state is
 // not synchronized, so use it from one goroutine (probes directly on
-// the Tree may run concurrently; the tree-mutating part of Flush takes
-// the tree's writer lock exclusively, since a batch may need structural
-// changes at any entry — it excludes latched writers for its duration).
+// the Tree may run concurrently; Flush applies each leaf group under
+// the shared writer lock plus that leaf's latch, escalating to the
+// exclusive lock per entry only when one actually needs a structural
+// change — so a flush coexists with latched writers on other leaves).
 type BufferedInserter struct {
 	tree     *Tree
 	capacity int
@@ -97,13 +98,16 @@ func (b *BufferedInserter) Search(key uint64) (*Result, error) {
 }
 
 // Flush applies all buffered inserts. Entries are sorted by key and
-// applied leaf by leaf: one descent and one leaf write per touched leaf.
-// Entries that need structural changes (splits, appends past the tail)
-// fall back to the tree's one-at-a-time insert path. The whole batch
-// runs under the exclusive writer lock — amortizing leaf writes is the
-// point, so per-leaf latching would buy nothing here. On error, every
-// entry that was not durably applied stays in the buffer — a failed
-// flush loses nothing, and a retry picks up exactly where it stopped.
+// applied leaf by leaf: one descent and one leaf write per touched
+// leaf. Each leaf group runs under the shared writer lock plus that
+// leaf's latch — the same tier as a non-structural Insert — so a flush
+// streams alongside latched writers and other flushes on disjoint
+// leaves instead of excluding every writer for the whole batch. Only
+// when a group's head entry actually needs structural work (a split, an
+// append past the tail) does the flush escalate to the exclusive lock,
+// for that one entry. On error, every entry that was not durably
+// applied stays in the buffer — a failed flush loses nothing, and a
+// retry picks up exactly where it stopped.
 func (b *BufferedInserter) Flush() error {
 	if len(b.pending) == 0 {
 		return nil
@@ -113,9 +117,6 @@ func (b *BufferedInserter) Flush() error {
 	b.pending = nil
 	sort.Slice(batch, func(i, j int) bool { return batch[i].key < batch[j].key })
 
-	t.writeMu.Lock()
-	defer t.writeMu.Unlock()
-
 	i := 0
 	// keepRemainder restores everything from index from onward into the
 	// buffer: the failing entry plus all entries behind it.
@@ -124,52 +125,95 @@ func (b *BufferedInserter) Flush() error {
 		return err
 	}
 	for i < len(batch) {
-		leaf, leafPid, path, err := t.descendPath(batch[i].key, true)
+		n, err := b.flushGroupLatched(batch[i:])
 		if err != nil {
 			return keepRemainder(i, err)
 		}
-		// Keys up to the path's separator bound route to this leaf.
-		bound := routeBound(path)
-		groupStart := i
-		newKeys := uint64(0)
-		for i < len(batch) {
-			e := batch[i]
-			if e.key > bound {
-				break
-			}
-			if e.pid < leaf.minPid || e.pid > leaf.maxPid {
-				break // append or disorder: slow path
-			}
-			applied, isNew, err := t.absorbIntoLeaf(leaf, e.key, e.pid)
-			if err != nil {
-				return keepRemainder(groupStart, err)
-			}
-			if !applied {
-				break // split needed: slow path
-			}
-			if isNew {
-				newKeys++
-			}
-			i++
-		}
-		if i > groupStart {
-			// The group's entries are applied only in memory until the
-			// leaf write lands; count nothing before then.
-			if err := t.writeLeaf(leafPid, leaf); err != nil {
-				return keepRemainder(groupStart, err)
-			}
-			if newKeys > 0 {
-				t.publish(func(m *treeMeta) { m.inserts += newKeys })
-			}
+		if n > 0 {
+			i += n
+			// Outside the shared lock: nudge the maintainer if this
+			// group's published drift crossed the compaction threshold.
+			t.driftNudge()
 			continue
 		}
-		// The head entry needs the structural path.
-		if err := t.insertLocked(batch[i].key, batch[i].pid); err != nil {
+		// The head entry needs the structural path: escalate to the
+		// exclusive lock for exactly this entry. insertLocked
+		// re-descends, so if another writer did the structural work in
+		// between it lands on the in-place path.
+		t.writeMu.Lock()
+		err = t.insertLocked(batch[i].key, batch[i].pid)
+		t.writeMu.Unlock()
+		if err != nil {
 			return keepRemainder(i, err)
 		}
+		t.driftNudge()
 		i++
 	}
 	return nil
+}
+
+// flushGroupLatched applies the longest prefix of batch that routes to
+// one leaf and absorbs in place, under the shared writer lock plus that
+// leaf's latch, and reports how many entries it durably applied. Zero
+// with a nil error means the head entry needs the exclusive structural
+// path (its page lies outside the leaf's range, or it is a new key on a
+// leaf at its Equation 5 capacity). On error nothing was applied: the
+// leaf image is rewritten only after the whole group absorbed.
+func (b *BufferedInserter) flushGroupLatched(batch []pendingInsert) (int, error) {
+	t := b.tree
+	t.writeMu.RLock()
+	defer t.writeMu.RUnlock()
+	// The shared lock freezes the structure, so the descent's leaf pid
+	// and routing bound stay valid for the whole group; the descent
+	// skips the leaf decode (descendPathPid) because the leaf image is
+	// read under the latch, like insertLatched — a racing latched
+	// writer may have rewritten it after the descent.
+	leafPid, path, err := t.descendPathPid(batch[0].key, true)
+	if err != nil {
+		return 0, err
+	}
+	bound := routeBound(path)
+	mu := t.latches.lock(leafPid)
+	defer mu.Unlock()
+	var stats ProbeStats
+	leaf, err := t.readLeaf(leafPid, &stats)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	newKeys := uint64(0)
+	for n < len(batch) {
+		e := batch[n]
+		if e.key > bound {
+			break
+		}
+		if e.pid < leaf.minPid || e.pid > leaf.maxPid {
+			break // append or disorder: slow path
+		}
+		applied, isNew, err := t.absorbIntoLeaf(leaf, e.key, e.pid)
+		if err != nil {
+			return 0, err
+		}
+		if !applied {
+			break // split needed: slow path
+		}
+		if isNew {
+			newKeys++
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	// The group's entries are applied only in memory until the leaf
+	// write lands; count nothing before then.
+	if err := t.writeLeaf(leafPid, leaf); err != nil {
+		return 0, err
+	}
+	if newKeys > 0 {
+		t.publish(func(m *treeMeta) { m.inserts += newKeys })
+	}
+	return n, nil
 }
 
 // routeBound returns the largest key that still routes to the leaf at

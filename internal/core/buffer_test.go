@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"bftree/internal/device"
@@ -86,6 +87,109 @@ func TestBufferedInsertAmortizesWrites(t *testing.T) {
 	if bufferedWrites*10 > directWrites {
 		t.Errorf("buffered flush wrote %d pages vs %d direct; expected >=10x amortization",
 			bufferedWrites, directWrites)
+	}
+}
+
+// TestFlushRunsLatchedAlongsideWriters pins the batch-escalation tier
+// of Flush: leaf groups run under the shared lock plus per-leaf latches,
+// so a flush interleaves with latched writers — including ones that
+// force escalated splits — without corrupting drift accounting or
+// losing entries. The old Flush held the exclusive lock for the whole
+// batch; this test also drives the escalation path inside Flush itself
+// (new keys landing on leaves pushed to their Equation 5 capacity).
+func TestFlushRunsLatchedAlongsideWriters(t *testing.T) {
+	const distinct = 6000
+	// Sparse even keys leave odd keys free as genuinely new inserts.
+	keys := make([]uint64, distinct)
+	for i := range keys {
+		keys[i] = uint64(2 * i)
+	}
+	f, _ := buildKeyedFile(t, keys)
+	// Small index pages keep leaf capacity low so the flush's new keys
+	// push leaves past capacity and escalate per-group.
+	tr, err := BulkLoad(pagestore.New(device.New(device.Memory, 512)), f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The flusher buffers new odd keys across the first half of the
+	// keyspace; concurrent latched writers re-insert existing even keys
+	// in the second half (guaranteed non-structural, disjoint leaves).
+	buf := tr.NewBufferedInserter(1 << 20)
+	flushed := make([]uint64, 0, distinct/4)
+	for i := 0; i < distinct/2; i += 2 {
+		k := keys[i] + 1
+		if err := buf.Insert(k, f.PageOf(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		flushed = append(flushed, k)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ord := distinct/2 + (i*131+w*977)%(distinct/2)
+				if err := tr.Insert(keys[ord], f.PageOf(uint64(ord))); err != nil {
+					errs[w] = err
+					return
+				}
+				i++
+			}
+		}(w)
+	}
+	flushErr := buf.Flush()
+	close(stop)
+	wg.Wait()
+	if flushErr != nil {
+		t.Fatalf("flush: %v", flushErr)
+	}
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("latched writer %d: %v", w, err)
+		}
+	}
+	if buf.Pending() != 0 {
+		t.Fatalf("flush left %d entries pending without an error", buf.Pending())
+	}
+	// Every flushed key is durable: its data page is a candidate. Some
+	// keys may legitimately fail candidacy only if a probe-based split
+	// re-shaped a half past the key's page — with re-inserted even keys
+	// as the only concurrent writers, no such split touches these leaves
+	// beyond the flush's own escalations, which preserve claims.
+	for j, k := range flushed {
+		if j%23 != 0 {
+			continue
+		}
+		var stats ProbeStats
+		pages, err := tr.candidatePages(k, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.PageOf(k / 2)
+		found := false
+		for _, p := range pages {
+			if p == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("flushed key %d lost: page %d not a candidate", k, want)
+		}
+	}
+	if tr.NumLeaves() < 2 {
+		t.Error("fixture produced a single leaf; escalation path not exercised")
 	}
 }
 

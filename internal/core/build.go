@@ -44,6 +44,19 @@ type Tree struct {
 	limboPrev []device.PageID // retired one flip ago (exclusive-writer-only)
 	limboCur  []device.PageID // retired since the last flip (exclusive-writer-only)
 
+	// limboLen mirrors len(limboPrev)+len(limboCur) for lock-free
+	// observers: the probe-exit hook (endProbe) and MaintenanceStats
+	// read it without touching writeMu. Written only by the exclusive
+	// writer (retire/reclaim).
+	limboLen atomic.Int64
+
+	// maint is the background maintainer, nil when none is running; the
+	// atomic pointer lets the probe-exit hook consult it lock-free.
+	// maintStats lives on the tree so counters survive maintainer
+	// stop/start cycles and explicit Maintain calls (maintenance.go).
+	maint      atomic.Pointer[maintainer]
+	maintStats maintStats
+
 	// leafWriteFault, when non-nil, is consulted by writeLeaf before
 	// every leaf write; a non-nil return is injected as the write's
 	// error. Test-only: set while the tree is quiescent to exercise
@@ -95,7 +108,25 @@ func leafShape(pages, baseGranularity, maxS int) (granularity, s int) {
 // and one pass over the leaves to build the internal levels, as Section
 // 4.2 prescribes. The file must be ordered or partitioned on the field:
 // each key must occupy one contiguous page range.
+//
+// Under Options.Maintenance.Mode == MaintenanceAuto the returned tree
+// owns a background maintainer goroutine; call Close to drain it.
 func BulkLoad(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts Options) (*Tree, error) {
+	t, err := bulkLoadTree(idxStore, file, fieldIdx, opts)
+	if err != nil {
+		return nil, err
+	}
+	if t.opts.Maintenance.Mode == MaintenanceAuto {
+		t.StartMaintenance()
+	}
+	return t, nil
+}
+
+// bulkLoadTree is BulkLoad without the maintainer lifecycle: Rebuild
+// uses it to construct the replacement tree (whose Tree shell is
+// discarded — only its published meta survives), so no goroutine may be
+// attached to it.
+func bulkLoadTree(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts Options) (*Tree, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return nil, err

@@ -69,27 +69,45 @@ func (t *Tree) descendLeafPid(key uint64, forInsert bool) (device.PageID, error)
 // (key == separator goes right, because a separator is the right leaf's
 // min key, so new tuples for it live in the right leaf's page range).
 func (t *Tree) descendPath(key uint64, forInsert bool) (*bfLeaf, device.PageID, []frame, error) {
+	pid, path, buf, err := t.descendPathBuf(key, forInsert)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	l, err := decodeBFLeaf(buf)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return l, pid, path, nil
+}
+
+// descendPathPid is descendPath without the leaf decode, for callers
+// that re-read the leaf under its latch anyway (flushGroupLatched) and
+// need the path only for routeBound.
+func (t *Tree) descendPathPid(key uint64, forInsert bool) (device.PageID, []frame, error) {
+	pid, path, _, err := t.descendPathBuf(key, forInsert)
+	return pid, path, err
+}
+
+// descendPathBuf is the shared body: it returns the leaf's pid, the
+// recorded internal path, and the leaf's undecoded page image.
+func (t *Tree) descendPathBuf(key uint64, forInsert bool) (device.PageID, []frame, []byte, error) {
 	var path []frame
 	pid := t.loadMeta().root
 	for {
 		buf, err := t.store.ReadPage(pid)
 		if err != nil {
-			return nil, 0, nil, err
+			return 0, nil, nil, err
 		}
 		kind, err := nodeKind(buf)
 		if err != nil {
-			return nil, 0, nil, err
+			return 0, nil, nil, err
 		}
 		if kind == nodeBFLeaf {
-			l, err := decodeBFLeaf(buf)
-			if err != nil {
-				return nil, 0, nil, err
-			}
-			return l, pid, path, nil
+			return pid, path, buf, nil
 		}
 		n, err := decodeInternal(buf)
 		if err != nil {
-			return nil, 0, nil, err
+			return 0, nil, nil, err
 		}
 		var i int
 		if forInsert {
@@ -130,6 +148,16 @@ func (t *Tree) writeLeaf(pid device.PageID, l *bfLeaf) error {
 // a structural change (append past the tail, split at capacity)
 // escalates to the exclusive writer lock (DESIGN.md §3).
 func (t *Tree) Insert(key uint64, pid device.PageID) error {
+	err := t.insert(key, pid)
+	if err == nil {
+		// Outside all tree locks: nudge the maintainer if this insert's
+		// published drift crossed the compaction threshold.
+		t.driftNudge()
+	}
+	return err
+}
+
+func (t *Tree) insert(key uint64, pid device.PageID) error {
 	if done, err := t.insertLatched(key, pid); done {
 		return err
 	}
@@ -294,6 +322,16 @@ func (t *Tree) insertLocked(key uint64, pid device.PageID) error {
 // with per-leaf latches, in parallel with inserts and deletes on other
 // leaves.
 func (t *Tree) Delete(key uint64, pid device.PageID) error {
+	err := t.delete(key, pid)
+	if err == nil {
+		// Outside all tree locks: nudge the maintainer if this delete's
+		// published drift crossed the compaction threshold.
+		t.driftNudge()
+	}
+	return err
+}
+
+func (t *Tree) delete(key uint64, pid device.PageID) error {
 	t.writeMu.RLock()
 	defer t.writeMu.RUnlock()
 	var stats ProbeStats
@@ -439,7 +477,7 @@ func (t *Tree) appendLeaf(key uint64, pid device.PageID, lastLeaf *bfLeaf, lastP
 		m.inserts++
 	})
 	t.retire(retired...)
-	t.reclaim()
+	t.maintRequest()
 	return nil
 }
 
@@ -532,7 +570,7 @@ func (t *Tree) splitLeaf(leaf *bfLeaf, leafPid device.PageID, path []frame) erro
 	})
 	t.retire(leafPid)
 	t.retire(retired...)
-	t.reclaim()
+	t.maintRequest()
 	return nil
 }
 

@@ -99,6 +99,15 @@ func (e *epochs) tryAdvance() bool {
 	return true
 }
 
+// canAdvance reports whether an epoch flip could currently succeed.
+// Advisory — readable without the writer lock, and the answer may be
+// stale by the time a flip is attempted — but it lets the maintainer
+// skip lock acquisitions that would be futile while a straggler reader
+// (say, a long range scan) pins the bucket the next epoch needs.
+func (e *epochs) canAdvance() bool {
+	return e.active[(e.epoch.Load()+1)&1].Load() == 0
+}
+
 // beginProbe registers the calling goroutine as a reader and returns
 // the snapshot to probe against. Every read-path entry point pairs it
 // with endProbe; while registered, no page reachable from the returned
@@ -109,9 +118,21 @@ func (t *Tree) beginProbe() (*treeMeta, uint64) {
 	return t.meta.Load(), ep
 }
 
-// endProbe deregisters a reader.
+// endProbe deregisters a reader. It doubles as the maintenance layer's
+// epoch-exit hook: a completing probe may be the last reader pinning a
+// limbo epoch, so when retired pages are waiting and a maintainer is
+// running, the probe nudges it. The common case (no limbo) costs a
+// single atomic load; while limbo drains, only the probe that arms the
+// nudge touches the wake channel (nudgeProbe's CAS), so concurrent
+// probe completions never serialize on it and the read path stays
+// lock-free.
 func (t *Tree) endProbe(ep uint64) {
 	t.readers.exit(ep)
+	if t.limboLen.Load() != 0 {
+		if m := t.maint.Load(); m != nil {
+			m.nudgeProbe()
+		}
+	}
 }
 
 // retire records pages that the just-published snapshot no longer
@@ -121,21 +142,26 @@ func (t *Tree) endProbe(ep uint64) {
 // live + free + limbo == device-pages economy is theirs to ignore.
 func (t *Tree) retire(pids ...device.PageID) {
 	t.limboCur = append(t.limboCur, pids...)
+	t.limboLen.Add(int64(len(pids)))
 }
 
 // reclaim attempts one epoch flip and, on success, returns the pages
-// retired two flips ago to the store's free list. Structural-writer-
-// only, under the exclusive writeMu; called opportunistically after
-// each structural change, so
-// reclamation keeps pace with mutation without ever blocking a reader
-// or the writer.
-func (t *Tree) reclaim() {
+// retired two flips ago to the store's free list, reporting how many
+// were freed. Structural-writer-only, under the exclusive writeMu.
+// Who calls it is the maintenance contract of DESIGN.md §4: the
+// background maintainer (or an explicit Maintain) under auto mode,
+// foreground structural changes opportunistically under manual mode —
+// either way reclamation never blocks a reader.
+func (t *Tree) reclaim() int {
 	if !t.readers.tryAdvance() {
-		return
+		return 0
 	}
-	if len(t.limboPrev) > 0 {
+	freed := len(t.limboPrev)
+	if freed > 0 {
 		t.store.Free(t.limboPrev...)
 	}
 	t.limboPrev = t.limboCur
 	t.limboCur = nil
+	t.limboLen.Add(-int64(freed))
+	return freed
 }

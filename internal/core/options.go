@@ -19,6 +19,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"bftree/internal/bloom"
 )
@@ -47,6 +49,95 @@ const (
 	CountingFilter
 )
 
+// MaintenanceMode selects who performs structural maintenance — limbo
+// reclamation of retired copy-on-write pages and fpp-drift-triggered
+// compaction (see maintenance.go and DESIGN.md §4).
+type MaintenanceMode byte
+
+const (
+	// MaintenanceManual (the default) keeps the pre-maintainer
+	// behavior: structural writers reclaim limbo opportunistically
+	// inline, and the caller may run Tree.Maintain (or start a
+	// maintainer explicitly with Tree.StartMaintenance) on demand.
+	MaintenanceManual MaintenanceMode = iota
+	// MaintenanceAuto starts a background maintainer goroutine at
+	// BulkLoad/Open. Foreground structural writers then only *request*
+	// maintenance; the maintainer reclaims limbo epochs and compacts
+	// the tree when the Equation 14 fpp estimate crosses the threshold.
+	// The tree must be Closed to drain the maintainer.
+	MaintenanceAuto
+	// MaintenanceDisabled suppresses all automatic maintenance: no
+	// background goroutine and no inline reclamation — retired pages
+	// accumulate in limbo until an explicit Tree.Maintain call. Meant
+	// for tests and experiments that measure limbo growth.
+	MaintenanceDisabled
+)
+
+// MaintenancePolicy configures the self-maintaining mode: when retired
+// copy-on-write pages are reclaimed and when accumulated insert/delete
+// drift (Section 7, Equation 14) triggers a Rebuild-based compaction.
+type MaintenancePolicy struct {
+	// Mode selects manual (default), auto, or disabled maintenance.
+	Mode MaintenanceMode
+	// FPPThreshold is the effective false-positive probability
+	// (Tree.EffectiveFPP, the Equation 14 estimate plus the Section 7
+	// delete term) at which the maintainer compacts the index via
+	// Rebuild. It must exceed the design FPP, or the compaction would
+	// re-trigger immediately. 0 selects 4x the design FPP (kept below
+	// 1); 1 disables drift compaction.
+	FPPThreshold float64
+	// ReclaimInterval is the maintainer's periodic wakeup: the upper
+	// bound on how long reclaimable limbo or unnoticed drift waits when
+	// no probe-completion or structural-change signal arrives. 0
+	// selects 5ms.
+	ReclaimInterval time.Duration
+	// LimboHighWater is the limbo page count past which the maintainer
+	// escalates from polite lock acquisition (TryLock, which never
+	// stalls latched writers) to one blocking acquire. 0 selects 512.
+	LimboHighWater int
+}
+
+// withDefaults fills zero values and validates against the design fpp.
+func (p MaintenancePolicy) withDefaults(fpp float64) (MaintenancePolicy, error) {
+	switch p.Mode {
+	case MaintenanceManual, MaintenanceAuto, MaintenanceDisabled:
+	default:
+		return p, fmt.Errorf("%w: unknown maintenance mode %d", ErrOptions, p.Mode)
+	}
+	if p.FPPThreshold == 0 {
+		p.FPPThreshold = 4 * fpp
+		if p.FPPThreshold >= 1 {
+			// Keep the default strictly inside (fpp, 1) even for the
+			// paper's loosest design points.
+			p.FPPThreshold = (1 + fpp) / 2
+		}
+	} else if math.IsNaN(p.FPPThreshold) || p.FPPThreshold <= fpp || p.FPPThreshold > 1 {
+		// A NaN fails every ordered comparison, so without the explicit
+		// check it would slip through and silently disable compaction.
+		return p, fmt.Errorf("%w: fpp threshold %g outside (design fpp %g, 1]",
+			ErrOptions, p.FPPThreshold, fpp)
+	}
+	if p.ReclaimInterval == 0 {
+		p.ReclaimInterval = 5 * time.Millisecond
+	} else if p.ReclaimInterval < 0 {
+		return p, fmt.Errorf("%w: reclaim interval %v", ErrOptions, p.ReclaimInterval)
+	}
+	if p.LimboHighWater == 0 {
+		p.LimboHighWater = 512
+	} else if p.LimboHighWater < 0 {
+		return p, fmt.Errorf("%w: limbo high water %d", ErrOptions, p.LimboHighWater)
+	}
+	// The persisted metadata stores the mark as a uint32; clamping here
+	// keeps a marshal/reopen cycle faithful (a clamped mark this high
+	// never triggers escalation in practice anyway). Via uint64 so the
+	// comparison and assignment compile on 32-bit ints, where the
+	// branch is simply unreachable.
+	if maxHW := uint64(math.MaxUint32); uint64(p.LimboHighWater) > maxHW {
+		p.LimboHighWater = int(maxHW)
+	}
+	return p, nil
+}
+
 // Options configure a BF-Tree build.
 type Options struct {
 	// FPP is the design false positive probability of each leaf Bloom
@@ -69,6 +160,10 @@ type Options struct {
 	// ParallelProbe enables concurrent probing of a leaf's filters
 	// (Section 8). Off by default: the experiments are I/O-bound.
 	ParallelProbe bool
+	// Maintenance configures the self-maintaining mode: background
+	// limbo reclamation and drift-triggered compaction (DESIGN.md §4).
+	// The zero value keeps the manual, inline-reclamation behavior.
+	Maintenance MaintenancePolicy
 }
 
 // withDefaults fills zero values and validates.
@@ -88,6 +183,11 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Filter != StandardFilter && o.Filter != CountingFilter {
 		return o, fmt.Errorf("%w: unknown filter kind %d", ErrOptions, o.Filter)
 	}
+	m, err := o.Maintenance.withDefaults(o.FPP)
+	if err != nil {
+		return o, err
+	}
+	o.Maintenance = m
 	return o, nil
 }
 

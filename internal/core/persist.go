@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"bftree/internal/device"
 	"bftree/internal/heapfile"
@@ -27,7 +28,19 @@ import (
 //	bytes 66-73 inserts
 //	bytes 74-81 deletes
 //	bytes 82-85 field index (uint32)
-const metaSize = 86
+//
+// Blobs may carry a maintenance-policy extension (the self-maintaining
+// mode's knobs); 86-byte blobs from before the extension still open,
+// defaulting to manual maintenance:
+//
+//	byte  86    maintenance mode
+//	bytes 87-94 fpp compaction threshold (float64 bits)
+//	bytes 95-102 reclaim interval (int64 nanoseconds)
+//	bytes 103-106 limbo high water (uint32)
+const (
+	metaSize      = 86
+	metaMaintSize = 107
+)
 
 var metaMagic = [4]byte{'B', 'F', 'T', '1'}
 
@@ -37,7 +50,7 @@ var metaMagic = [4]byte{'B', 'F', 'T', '1'}
 // makes reopening free.
 func (t *Tree) MarshalMeta() []byte {
 	m := t.loadMeta()
-	buf := make([]byte, metaSize)
+	buf := make([]byte, metaMaintSize)
 	copy(buf[0:4], metaMagic[:])
 	binary.LittleEndian.PutUint64(buf[4:12], math.Float64bits(t.opts.FPP))
 	binary.LittleEndian.PutUint32(buf[12:16], uint32(t.opts.Granularity))
@@ -55,6 +68,11 @@ func (t *Tree) MarshalMeta() []byte {
 	binary.LittleEndian.PutUint64(buf[66:74], m.inserts)
 	binary.LittleEndian.PutUint64(buf[74:82], m.deletes)
 	binary.LittleEndian.PutUint32(buf[82:86], uint32(t.fieldIdx))
+	mp := t.opts.Maintenance
+	buf[86] = byte(mp.Mode)
+	binary.LittleEndian.PutUint64(buf[87:95], math.Float64bits(mp.FPPThreshold))
+	binary.LittleEndian.PutUint64(buf[95:103], uint64(mp.ReclaimInterval.Nanoseconds()))
+	binary.LittleEndian.PutUint32(buf[103:107], uint32(mp.LimboHighWater))
 	return buf
 }
 
@@ -74,6 +92,28 @@ func Open(store *pagestore.Store, file *heapfile.File, meta []byte) (*Tree, erro
 		Hashes:        int(binary.LittleEndian.Uint32(meta[16:20])),
 		Filter:        FilterKind(meta[20]),
 		ParallelProbe: meta[21] == 1,
+	}
+	if len(meta) > metaSize && len(meta) < metaMaintSize {
+		// Only exactly-86-byte blobs are legacy; anything between is a
+		// torn maintenance extension, and opening it would silently
+		// revert a tuned policy to manual defaults.
+		return nil, fmt.Errorf("%w: metadata is %d bytes, want %d or %d",
+			ErrCorrupt, len(meta), metaSize, metaMaintSize)
+	}
+	if len(meta) >= metaMaintSize {
+		// Clamp the high-water mark to the platform int so a blob
+		// written on a 64-bit host reopens on 32-bit instead of going
+		// negative and failing validation.
+		hw := uint64(binary.LittleEndian.Uint32(meta[103:107]))
+		if hw > math.MaxInt {
+			hw = math.MaxInt
+		}
+		opts.Maintenance = MaintenancePolicy{
+			Mode:            MaintenanceMode(meta[86]),
+			FPPThreshold:    math.Float64frombits(binary.LittleEndian.Uint64(meta[87:95])),
+			ReclaimInterval: time.Duration(binary.LittleEndian.Uint64(meta[95:103])),
+			LimboHighWater:  int(hw),
+		}
 	}
 	o, err := opts.withDefaults()
 	if err != nil {
@@ -113,6 +153,9 @@ func Open(store *pagestore.Store, file *heapfile.File, meta []byte) (*Tree, erro
 	if _, err := nodeKind(buf); err != nil {
 		return nil, fmt.Errorf("bftree: open: root page: %w", err)
 	}
+	if t.opts.Maintenance.Mode == MaintenanceAuto {
+		t.StartMaintenance()
+	}
 	return t, nil
 }
 
@@ -127,6 +170,25 @@ func Open(store *pagestore.Store, file *heapfile.File, meta []byte) (*Tree, erro
 func (t *Tree) Rebuild() error {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
+	if err := t.rebuildLocked(); err != nil {
+		return err
+	}
+	t.maintRequest()
+	return nil
+}
+
+// rebuildLocked is Rebuild's body; callers hold the exclusive writeMu.
+// It retires the whole old tree but performs no reclamation — that is
+// the maintenance layer's job (the background maintainer under auto
+// mode, the inline maintRequest fallback under manual).
+//
+// The replacement comes from bulkLoadTree, not BulkLoad: the fresh Tree
+// shell is discarded after its published meta is adopted, so it must
+// not own a maintainer goroutine. The new snapshot carries zero
+// insert/delete drift — BulkLoad counts only build-time keys — which is
+// what lets the drift-triggered compaction terminate instead of
+// re-triggering itself (asserted by TestRebuildClearsDrift).
+func (t *Tree) rebuildLocked() error {
 	old := t.loadMeta()
 	// Collect the old tree's pages (writer-side walk) before the new
 	// snapshot replaces it.
@@ -144,12 +206,11 @@ func (t *Tree) Rebuild() error {
 		}
 		pid = leaf.next
 	}
-	fresh, err := BulkLoad(t.store, t.file, t.fieldIdx, t.opts)
+	fresh, err := bulkLoadTree(t.store, t.file, t.fieldIdx, t.opts)
 	if err != nil {
 		return err
 	}
 	t.meta.Store(fresh.loadMeta())
 	t.retire(retired...)
-	t.reclaim()
 	return nil
 }

@@ -25,6 +25,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,11 +100,29 @@ func (s Stats) String() string {
 // ErrOutOfRange reports access to a page beyond the device size.
 var ErrOutOfRange = errors.New("device: page out of range")
 
-// pageStripes is the number of striped page-data locks. Accesses to
-// pages in different stripes proceed fully in parallel; the count only
-// bounds how many *writers* can be active at once, so a modest power of
-// two is plenty.
-const pageStripes = 64
+// ParallelStripes returns GOMAXPROCS rounded up to a power of two,
+// floored at 8 and never exceeding limit (the floor wins should a
+// caller pass a limit below 8) — the shared sizing rule for
+// parallelism-bound lock tables: the device's page-data stripes here
+// and the page-cache shard bound in pagestore. More independent locks
+// than runnable goroutines buys nothing, while a big fixed count (the
+// old constant 64) wastes footprint on small hosts; the power-of-two
+// rounding keeps selection a mask or cheap modulo.
+func ParallelStripes(limit int) int {
+	n := runtime.GOMAXPROCS(0)
+	s := 8
+	for s < n && s*2 <= limit {
+		s *= 2
+	}
+	return s
+}
+
+// pageStripes is the page-data lock stripe count for a new device.
+// Accesses to pages in different stripes proceed fully in parallel;
+// the count only bounds how many *writers* can be active at once.
+func pageStripes() int {
+	return ParallelStripes(1024)
+}
 
 // statsCounters is the lock-free backing of Stats.
 type statsCounters struct {
@@ -154,9 +173,9 @@ type Device struct {
 	pageSize int
 	cost     CostModel
 
-	allocMu sync.Mutex                // serializes Allocate
-	pages   atomic.Pointer[[][]byte]  // grow-only directory; buffers stable
-	locks   [pageStripes]sync.RWMutex // striped page-data locks
+	allocMu sync.Mutex               // serializes Allocate
+	pages   atomic.Pointer[[][]byte] // grow-only directory; buffers stable
+	locks   []sync.RWMutex           // striped page-data locks (pageStripes-sized)
 
 	lastPage atomic.Uint64 // sequential detection; InvalidPage initially
 	stats    statsCounters
@@ -180,6 +199,7 @@ func NewWithProfile(p Profile, pageSize int) *Device {
 		name:     p.Name,
 		pageSize: pageSize,
 		cost:     p.Cost,
+		locks:    make([]sync.RWMutex, pageStripes()),
 	}
 	empty := make([][]byte, 0)
 	d.pages.Store(&empty)
@@ -221,7 +241,7 @@ func (d *Device) sleepRealLatency() {
 
 // stripe returns the data lock guarding page id.
 func (d *Device) stripe(id PageID) *sync.RWMutex {
-	return &d.locks[uint64(id)%pageStripes]
+	return &d.locks[uint64(id)%uint64(len(d.locks))]
 }
 
 // Allocate appends n zeroed pages and returns the id of the first.

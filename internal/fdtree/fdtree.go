@@ -279,12 +279,24 @@ type SearchStats struct {
 
 // Search returns the tuple references for key. It scans the head tree,
 // then follows one fence per level, reading one run page per level — the
-// logarithmic search pattern the paper models.
+// logarithmic search pattern the paper models. Duplicates of key that
+// straddle a page boundary within a run cost extra page reads: the
+// fence routing is rightmost-biased, so the remaining records sit at
+// the tails of the immediately preceding pages (see the left walk).
 func (t *Tree) Search(key uint64) ([]bptree.TupleRef, *SearchStats, error) {
 	stats := &SearchStats{}
 	var out []bptree.TupleRef
 	nextPage := device.InvalidPage
 
+	// collect gathers the records matching key.
+	collect := func(entries []entry) {
+		i := sort.Search(len(entries), func(i int) bool { return entries[i].key > key })
+		for j := i - 1; j >= 0 && entries[j].key == key; j-- {
+			if entries[j].kind == kindRecord {
+				out = append(out, entries[j].ref)
+			}
+		}
+	}
 	scan := func(entries []entry) {
 		i := sort.Search(len(entries), func(i int) bool { return entries[i].key > key })
 		// The last fence at or below key routes the next level; records
@@ -296,11 +308,7 @@ func (t *Tree) Search(key uint64) ([]bptree.TupleRef, *SearchStats, error) {
 				break
 			}
 		}
-		for j := i - 1; j >= 0 && entries[j].key == key; j-- {
-			if entries[j].kind == kindRecord {
-				out = append(out, entries[j].ref)
-			}
-		}
+		collect(entries)
 	}
 
 	scan(t.head)
@@ -313,13 +321,32 @@ func (t *Tree) Search(key uint64) ([]bptree.TupleRef, *SearchStats, error) {
 			}
 			nextPage = t.levels[lv].first
 		}
-		page, err := t.readRunPage(nextPage)
+		pid := nextPage
+		page, err := t.readRunPage(pid)
 		if err != nil {
 			return nil, nil, err
 		}
 		stats.PagesRead++
 		nextPage = device.InvalidPage
 		scan(page)
+		// Duplicates of key may straddle page boundaries within the
+		// run. The entry page is the rightmost page whose first key is
+		// at or below key (fences are one per page, keyed by first key,
+		// and routing picks the last fence at or below key), so any
+		// remaining records of key sit at the tails of the preceding
+		// pages: walk left while the page still *starts* at key. The
+		// left pages never carry routing information the entry page
+		// lacks — a fence at or below key on them precedes every fence
+		// the entry page holds — so only records are collected.
+		for len(page) > 0 && page[0].key == key && pid > t.levels[lv].first {
+			pid--
+			page, err = t.readRunPage(pid)
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.PagesRead++
+			collect(page)
+		}
 	}
 	return out, stats, nil
 }

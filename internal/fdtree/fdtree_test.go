@@ -226,3 +226,59 @@ func TestQuickMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSearchDuplicatesStraddlingPageBoundary pins the straddle fix:
+// duplicates of one key split across a run-page boundary must all be
+// found. Fence routing is rightmost-biased — it lands on the page that
+// *starts* with the key — so without the leftward page walk the records
+// at the tail of the preceding page were silently dropped (the flake
+// TestQuickMatchesReference used to hit).
+func TestSearchDuplicatesStraddlingPageBoundary(t *testing.T) {
+	store := memStore()
+	per := entriesPerPage(store.PageSize())
+	// 210 singleton keys, then 20 duplicates of key 210 positioned so
+	// the page boundary at `per` entries falls inside the group, then
+	// more singletons to give the run several pages.
+	const dupKey, dups = uint64(210), 20
+	var entries []bptree.Entry
+	for k := uint64(0); k < dupKey; k++ {
+		entries = append(entries, bptree.Entry{Key: k, Ref: bptree.TupleRef{Page: device.PageID(k)}})
+	}
+	for d := 0; d < dups; d++ {
+		entries = append(entries, bptree.Entry{Key: dupKey, Ref: bptree.TupleRef{Page: device.PageID(1000 + d)}})
+	}
+	for k := dupKey + 1; k < dupKey+100; k++ {
+		entries = append(entries, bptree.Entry{Key: k, Ref: bptree.TupleRef{Page: device.PageID(k)}})
+	}
+	if len(entries) <= per || int(dupKey)+dups <= per {
+		t.Fatalf("fixture does not straddle: %d entries, %d per page", len(entries), per)
+	}
+	tr, err := BulkLoad(store, entries, Options{HeadCapacity: 32, Ratio: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, stats, err := tr.Search(dupKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != dups {
+		t.Fatalf("found %d of %d duplicates straddling the page boundary", len(refs), dups)
+	}
+	seen := make(map[device.PageID]bool)
+	for _, r := range refs {
+		if r.Page < 1000 || r.Page >= 1000+dups || seen[r.Page] {
+			t.Fatalf("wrong or duplicated ref %v", r)
+		}
+		seen[r.Page] = true
+	}
+	if stats.PagesRead == 0 {
+		t.Fatal("no pages read")
+	}
+	// Non-straddling keys are unaffected.
+	for _, k := range []uint64{0, 107, 250} {
+		refs, _, err := tr.Search(k)
+		if err != nil || len(refs) != 1 {
+			t.Fatalf("key %d: %d refs, err %v", k, len(refs), err)
+		}
+	}
+}

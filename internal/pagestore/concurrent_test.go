@@ -9,7 +9,8 @@ import (
 
 // TestShardCount pins the sizing policy: tiny caches stay single-shard
 // (exact global LRU, which the deterministic experiments rely on), big
-// caches split while keeping every shard at least minShardCapacity.
+// caches split while keeping every shard at least minShardCapacity,
+// capped by the GOMAXPROCS-derived shard bound.
 func TestShardCount(t *testing.T) {
 	cases := []struct{ capacity, want int }{
 		{1, 1},
@@ -17,17 +18,42 @@ func TestShardCount(t *testing.T) {
 		{127, 1},
 		{128, 2},
 		{256, 4},
-		{64 * 64, 64},
 		{1 << 20, maxCacheShards},
 	}
 	for _, c := range cases {
-		if got := shardCount(c.capacity); got != c.want {
-			t.Errorf("shardCount(%d) = %d, want %d", c.capacity, got, c.want)
+		want := c.want
+		if want > maxCacheShards {
+			want = maxCacheShards
+		}
+		if got := shardCount(c.capacity); got != want {
+			t.Errorf("shardCount(%d) = %d, want %d", c.capacity, got, want)
 		}
 	}
 	sc := newShardedCache(1024)
 	if len(sc.shards) != shardCount(1024) {
 		t.Error("shard slice does not match shardCount")
+	}
+}
+
+// TestParallelStripes pins the GOMAXPROCS derivation (shared with the
+// device's page-lock stripes): a power of two, floored at 8, capped at
+// the given limit.
+func TestParallelStripes(t *testing.T) {
+	for _, limit := range []int{8, 64, 256, 1024} {
+		s := device.ParallelStripes(limit)
+		if s < 8 {
+			t.Errorf("ParallelStripes(%d) = %d, below the floor of 8", limit, s)
+		}
+		if s&(s-1) != 0 {
+			t.Errorf("ParallelStripes(%d) = %d, not a power of two", limit, s)
+		}
+		if s > limit {
+			t.Errorf("ParallelStripes(%d) = %d, runs past the cap", limit, s)
+		}
+	}
+	if maxCacheShards != device.ParallelStripes(256) {
+		t.Errorf("maxCacheShards = %d, want ParallelStripes(256) = %d",
+			maxCacheShards, device.ParallelStripes(256))
 	}
 }
 

@@ -52,6 +52,7 @@ type Store struct {
 	freeList []device.PageID
 	freed    atomic.Uint64
 	reused   atomic.Uint64
+	fresh    atomic.Uint64 // allocations that extended the device
 }
 
 // Option configures a Store.
@@ -115,6 +116,7 @@ func (s *Store) Allocate(n int) device.PageID {
 		}
 		s.freeMu.Unlock()
 	}
+	s.fresh.Add(uint64(n))
 	return s.dev.Allocate(n)
 }
 
@@ -143,6 +145,16 @@ func (s *Store) FreePages() int {
 // pages recycled by Allocate.
 func (s *Store) FreeListStats() (freed, reused uint64) {
 	return s.freed.Load(), s.reused.Load()
+}
+
+// PressureStats reports the free-list pressure counters the maintenance
+// policy feeds on: fresh is the lifetime count of pages allocated by
+// extending the device (the free list could not serve them), freed and
+// reused as in FreeListStats. A growing fresh count while reclaimable
+// pages sit in the tree's limbo means reclamation is overdue — the
+// device is expanding for pages that dead ids could have supplied.
+func (s *Store) PressureStats() (fresh, freed, reused uint64) {
+	return s.fresh.Load(), s.freed.Load(), s.reused.Load()
 }
 
 // ReadPage returns the contents of page id. The returned slice is a copy
@@ -263,9 +275,11 @@ func (s *Store) DropCache() {
 // while saving contention no probe workload can generate.
 const minShardCapacity = 64
 
-// maxCacheShards bounds the shard count; 64 shards of independent locks
-// comfortably outpaces any realistic probe parallelism.
-const maxCacheShards = 64
+// maxCacheShards bounds the shard count. It tracks the host's
+// parallelism (device.ParallelStripes) instead of a fixed constant:
+// more independent locks than runnable goroutines buys nothing, while
+// a big fixed count fragments small caches' LRU for no contention win.
+var maxCacheShards = device.ParallelStripes(256)
 
 // shardedCache splits a page cache into independently locked LRU shards.
 // A page's shard is a hash of its id, so tree levels laid out on
