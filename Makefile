@@ -7,7 +7,7 @@ GO ?= go
 # under the race detector.
 RACE_PKGS := ./internal/core/... ./internal/pagestore/... ./internal/device/...
 
-.PHONY: help build test race bench fmt fmt-fix vet ci clean
+.PHONY: help build test race bench conformance fmt fmt-fix vet ci clean
 
 help:
 	@echo "BF-Tree — available targets:"
@@ -15,6 +15,7 @@ help:
 	@echo "  make build    - go build ./..."
 	@echo "  make test     - go test ./..."
 	@echo "  make race     - race-detector tests on core/pagestore/device"
+	@echo "  make conformance - cross-backend index API conformance suite"
 	@echo "  make bench    - run every benchmark once (smoke) "
 	@echo "  make fmt      - fail if any file needs gofmt"
 	@echo "  make fmt-fix  - gofmt -w the tree"
@@ -32,6 +33,9 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+conformance:
+	$(GO) test -run 'TestConformance|TestCapabilityMatrix' -v ./index/
+
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
@@ -46,7 +50,7 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race bench
+ci: fmt vet build test race conformance bench
 
 clean:
 	$(GO) clean -testcache

@@ -124,6 +124,10 @@ var (
 	// recorded, and the tree is unchanged — typically a tolerable
 	// not-found rather than a failure.
 	ErrNotIndexed = core.ErrNotIndexed
+	// ErrUnknownField reports an index build over a field the schema
+	// does not declare; the concrete error is an *UnknownFieldError
+	// carrying the name.
+	ErrUnknownField = heapfile.ErrUnknownField
 )
 
 // NewDevice creates a simulated storage device of the given kind with
@@ -158,7 +162,7 @@ func NewRelationBuilder(store *Store, schema Schema) (*heapfile.Builder, error) 
 func BulkLoad(idxStore *Store, file *File, field string, opts Options) (*Tree, error) {
 	fieldIdx := file.Schema().FieldIndex(field)
 	if fieldIdx < 0 {
-		return nil, &UnknownFieldError{Field: field}
+		return nil, &heapfile.UnknownFieldError{Field: field}
 	}
 	return core.BulkLoad(idxStore, file, fieldIdx, opts)
 }
@@ -175,9 +179,5 @@ func Open(idxStore *Store, file *File, meta []byte) (*Tree, error) {
 type BufferedInserter = core.BufferedInserter
 
 // UnknownFieldError reports an index build over a field the schema does
-// not declare.
-type UnknownFieldError struct{ Field string }
-
-func (e *UnknownFieldError) Error() string {
-	return "bftree: schema has no field named " + e.Field
-}
+// not declare. errors.Is(err, ErrUnknownField) matches it.
+type UnknownFieldError = heapfile.UnknownFieldError

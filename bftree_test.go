@@ -2,6 +2,7 @@ package bftree_test
 
 import (
 	"encoding/binary"
+	"errors"
 	"testing"
 	"time"
 
@@ -90,6 +91,9 @@ func TestUnknownField(t *testing.T) {
 	}
 	if _, ok := err.(*bftree.UnknownFieldError); !ok {
 		t.Fatalf("want UnknownFieldError, got %T", err)
+	}
+	if !errors.Is(err, bftree.ErrUnknownField) {
+		t.Error("errors.Is(err, ErrUnknownField) must match, like the other sentinels")
 	}
 	if err.Error() == "" {
 		t.Error("error must format")

@@ -10,6 +10,14 @@
 //	bfbench -exp fig13 -tuples 500000  # custom synthetic size
 //	bfbench -exp table3 -probes 5000   # more probes per measurement
 //	bfbench -exp churn                 # self-maintaining mode under 1M-op churn
+//	bfbench -exp fig5a -index=bptree   # point lookups on another backend
+//	bfbench -exp point-lookup -index=each  # cross-backend comparison
+//
+// The -index flag selects the registered backend the point-lookup
+// experiments probe (any name from the bftree/index registry); the
+// point-lookup experiment additionally accepts "each" to walk the whole
+// registry. No experiment carries per-backend code — selection happens
+// in the unified index API.
 //
 // Scale notes: the default scale shrinks the paper's datasets ~16x so a
 // full run stays interactive; ratios (capacity gain, normalized response
@@ -23,17 +31,19 @@ import (
 	"os"
 	"time"
 
+	"bftree/index"
 	"bftree/internal/bench"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale  = flag.String("scale", "default", "dataset scale: default | paper")
-		tuples = flag.Uint64("tuples", 0, "override synthetic relation size in tuples")
-		probes = flag.Int("probes", 0, "override probes per measurement")
-		seed   = flag.Int64("seed", 0, "override workload seed")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale   = flag.String("scale", "default", "dataset scale: default | paper")
+		tuples  = flag.Uint64("tuples", 0, "override synthetic relation size in tuples")
+		probes  = flag.Int("probes", 0, "override probes per measurement")
+		seed    = flag.Int64("seed", 0, "override workload seed")
+		backend = flag.String("index", "", "index backend for point-lookup experiments (registry name, or 'each')")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -63,6 +73,21 @@ func main() {
 	}
 	if *seed != 0 {
 		s.Seed = *seed
+	}
+	if *backend != "" {
+		if *backend == "each" {
+			// Only the registry-walking experiment accepts "each"; the
+			// per-figure sweeps need one concrete backend.
+			if *exp != "point-lookup" {
+				fmt.Fprintln(os.Stderr, "bfbench: -index=each only applies to -exp point-lookup; pick one backend for other experiments")
+				os.Exit(2)
+			}
+		} else if _, ok := index.Lookup(*backend); !ok {
+			fmt.Fprintf(os.Stderr, "bfbench: unknown index backend %q (have %v, or 'each' for point-lookup)\n",
+				*backend, index.Backends())
+			os.Exit(2)
+		}
+		s.Index = *backend
 	}
 
 	names := []string{*exp}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"os"
 
-	"bftree/internal/bench"
 	"bftree/internal/bptree"
 	"bftree/internal/core"
 	"bftree/internal/device"
@@ -49,7 +48,7 @@ func main() {
 
 	bf, err := core.BulkLoad(idxStore, syn.File, fieldIdx, core.Options{FPP: *fpp})
 	fail(err)
-	entries, err := bench.BuildPKEntries(syn.File, fieldIdx)
+	entries, err := bptree.PKEntries(syn.File, fieldIdx)
 	fail(err)
 	bp, err := bptree.BulkLoad(idxStore, entries, 1.0)
 	fail(err)

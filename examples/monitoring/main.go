@@ -12,7 +12,6 @@ import (
 	"log"
 
 	"bftree"
-	"bftree/internal/bench"
 	"bftree/internal/bptree"
 	"bftree/internal/device"
 	"bftree/internal/pagestore"
@@ -40,7 +39,7 @@ func main() {
 	}
 
 	// The B+-Tree alternative, for the size comparison the paper makes.
-	entries, err := bench.BuildDedupEntries(shd.File, tsField)
+	entries, err := bptree.DedupEntries(shd.File, tsField)
 	if err != nil {
 		log.Fatal(err)
 	}

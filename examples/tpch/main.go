@@ -12,7 +12,6 @@ import (
 	"log"
 
 	"bftree"
-	"bftree/internal/bench"
 	"bftree/internal/bptree"
 	"bftree/internal/device"
 	"bftree/internal/pagestore"
@@ -36,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 	shipField := workload.TPCHSchema.FieldIndex("shipdate")
-	entries, err := bench.BuildDedupEntries(tp.File, shipField)
+	entries, err := bptree.DedupEntries(tp.File, shipField)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,143 @@
+package index
+
+import (
+	"bftree/internal/core"
+)
+
+// defaultBFTreeFPP is the design false positive probability the BF-Tree
+// backend uses when Options.BFTree leaves it zero — the 1e-3 point the
+// quickstart and TPCH experiments run at.
+const defaultBFTreeFPP = 1e-3
+
+func init() {
+	Register(Backend{
+		Name:        "bftree",
+		Approximate: true,
+		BulkLoad: func(store *Store, file *File, fieldIdx int, opts Options) (Index, error) {
+			o := opts.BFTree
+			if o.FPP == 0 {
+				o.FPP = defaultBFTreeFPP
+			}
+			tr, err := core.BulkLoad(store, file, fieldIdx, o)
+			if err != nil {
+				return nil, err
+			}
+			return newBFIndex(tr, opts), nil
+		},
+		Open: func(store *Store, file *File, meta []byte) (Index, error) {
+			tr, err := core.Open(store, file, meta)
+			if err != nil {
+				return nil, err
+			}
+			return newBFIndex(tr, Options{}), nil
+		},
+	})
+}
+
+func newBFIndex(tr *core.Tree, opts Options) Index {
+	if opts.BufferedInserts > 0 {
+		return &bufferedBFIndex{
+			tree: tr,
+			buf:  tr.NewBufferedInserter(opts.BufferedInserts),
+		}
+	}
+	return &bfIndex{tree: tr}
+}
+
+// bfIndex adapts core.Tree — the BF-Tree already speaks the Result
+// shape, so every method is a delegation. It implements Inserter,
+// Deleter, Persister, Maintainer and Warmable.
+type bfIndex struct {
+	tree *core.Tree
+}
+
+func (ix *bfIndex) Search(key uint64) (*Result, error)      { return ix.tree.Search(key) }
+func (ix *bfIndex) SearchFirst(key uint64) (*Result, error) { return ix.tree.SearchFirst(key) }
+func (ix *bfIndex) RangeScan(lo, hi uint64) (*Result, error) {
+	return ix.tree.RangeScan(lo, hi)
+}
+func (ix *bfIndex) Close() error { return ix.tree.Close() }
+
+func (ix *bfIndex) Stats() Stats {
+	return Stats{
+		Backend:      "bftree",
+		Pages:        ix.tree.NumNodes(),
+		SizeBytes:    ix.tree.SizeBytes(),
+		Height:       ix.tree.Height(),
+		Entries:      ix.tree.NumKeys(),
+		Keys:         ix.tree.NumKeys(),
+		EffectiveFPP: ix.tree.EffectiveFPP(),
+	}
+}
+
+// Insert adds a key→page association; the BF-Tree indexes pages, not
+// slots, so the reference's slot is ignored.
+func (ix *bfIndex) Insert(key uint64, ref Ref) error { return ix.tree.Insert(key, ref.Page) }
+
+// Delete removes a key→page association (physically for counting
+// filters; as tracked fpp drift for standard ones).
+func (ix *bfIndex) Delete(key uint64, ref Ref) error { return ix.tree.Delete(key, ref.Page) }
+
+func (ix *bfIndex) MarshalMeta() []byte { return ix.tree.MarshalMeta() }
+
+func (ix *bfIndex) Maintain() error { return ix.tree.Maintain() }
+func (ix *bfIndex) MaintenanceStats() MaintenanceStats {
+	return ix.tree.MaintenanceStats()
+}
+
+func (ix *bfIndex) InternalPages() ([]PageID, error) { return ix.tree.InternalPages() }
+
+// bufferedBFIndex is the update-intensive mode of Section 4.2 behind
+// the same interface: Insert batches in memory, Flush applies the batch
+// leaf-by-leaf, and point probes merge buffered entries with the tree's
+// answer. Range scans see only flushed state — call Flush first when
+// scanning must observe buffered inserts. Deliberately NOT a composed
+// bfIndex: each capability must account for the buffer, so Delete
+// flushes before touching the tree, and Persister is withheld — a
+// marshal could otherwise silently drop buffered inserts (Flush, then
+// rebuild the index unbuffered, to persist).
+type bufferedBFIndex struct {
+	tree *core.Tree
+	buf  *core.BufferedInserter
+}
+
+func (ix *bufferedBFIndex) Search(key uint64) (*Result, error) { return ix.buf.Search(key) }
+
+func (ix *bufferedBFIndex) SearchFirst(key uint64) (*Result, error) {
+	res, err := ix.buf.Search(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Tuples) > 1 {
+		res.Tuples = res.Tuples[:1]
+	}
+	return res, nil
+}
+
+func (ix *bufferedBFIndex) RangeScan(lo, hi uint64) (*Result, error) {
+	return ix.tree.RangeScan(lo, hi)
+}
+
+func (ix *bufferedBFIndex) Stats() Stats { return (&bfIndex{tree: ix.tree}).Stats() }
+
+func (ix *bufferedBFIndex) Close() error { return ix.tree.Close() }
+
+func (ix *bufferedBFIndex) Insert(key uint64, ref Ref) error { return ix.buf.Insert(key, ref.Page) }
+
+// Delete applies the pending buffer first so a just-buffered
+// association can be deleted like any other.
+func (ix *bufferedBFIndex) Delete(key uint64, ref Ref) error {
+	if err := ix.buf.Flush(); err != nil {
+		return err
+	}
+	return ix.tree.Delete(key, ref.Page)
+}
+
+func (ix *bufferedBFIndex) Flush() error { return ix.buf.Flush() }
+
+func (ix *bufferedBFIndex) Maintain() error { return ix.tree.Maintain() }
+func (ix *bufferedBFIndex) MaintenanceStats() MaintenanceStats {
+	return ix.tree.MaintenanceStats()
+}
+
+func (ix *bufferedBFIndex) InternalPages() ([]PageID, error) { return ix.tree.InternalPages() }

@@ -1,0 +1,110 @@
+package index
+
+import (
+	"bftree/internal/bptree"
+	"bftree/internal/heapfile"
+)
+
+func init() {
+	Register(Backend{
+		Name: "bptree",
+		BulkLoad: func(store *Store, file *File, fieldIdx int, opts Options) (Index, error) {
+			entries, err := layoutEntries(file, fieldIdx, opts.DedupKeys)
+			if err != nil {
+				return nil, err
+			}
+			ff := opts.FillFactor
+			if ff == 0 {
+				ff = 1.0
+			}
+			tr, err := bptree.BulkLoad(store, entries, ff)
+			if err != nil {
+				return nil, err
+			}
+			return &bpIndex{tree: tr, file: file, fieldIdx: fieldIdx, dedup: opts.DedupKeys}, nil
+		},
+	})
+}
+
+// layoutEntries builds the entry list of an exact tree backend: one per
+// tuple (PK layout) or one per distinct key (the paper's deduplicated
+// baseline for ordered non-unique attributes).
+func layoutEntries(file *heapfile.File, fieldIdx int, dedup bool) ([]bptree.Entry, error) {
+	if dedup {
+		return bptree.DedupEntries(file, fieldIdx)
+	}
+	return bptree.PKEntries(file, fieldIdx)
+}
+
+// bpIndex adapts the B+-Tree baseline: probe the tree for tuple
+// references, then fetch the referenced data pages into the shared
+// Result shape. In dedup mode the probe locates the first occurrence
+// and the fetch scans forward through the duplicates (Section 6.3). It
+// implements Inserter and Warmable.
+type bpIndex struct {
+	tree     *bptree.Tree
+	file     *heapfile.File
+	fieldIdx int
+	dedup    bool
+}
+
+func (ix *bpIndex) Search(key uint64) (*Result, error)      { return ix.search(key, false) }
+func (ix *bpIndex) SearchFirst(key uint64) (*Result, error) { return ix.search(key, true) }
+
+func (ix *bpIndex) search(key uint64, firstOnly bool) (*Result, error) {
+	refs, idxReads, err := ix.tree.SearchStats(key)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: ProbeStats{IndexReads: idxReads}}
+	if len(refs) == 0 {
+		return res, nil
+	}
+	if ix.dedup {
+		err = fetchPointOrdered(ix.file, ix.fieldIdx, key, refs[0].Page, firstOnly, res)
+	} else {
+		err = fetchPointRefs(ix.file, ix.fieldIdx, key, refs, firstOnly, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (ix *bpIndex) RangeScan(lo, hi uint64) (*Result, error) {
+	refs, idxReads, err := ix.tree.RangeScanStats(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: ProbeStats{IndexReads: idxReads}}
+	if len(refs) == 0 {
+		return res, nil
+	}
+	if ix.dedup {
+		err = fetchRangeOrdered(ix.file, ix.fieldIdx, lo, hi, refs[0].Page, res)
+	} else {
+		err = fetchRangeRefs(ix.file, ix.fieldIdx, lo, hi, refs, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (ix *bpIndex) Stats() Stats {
+	return Stats{
+		Backend:   "bptree",
+		Pages:     ix.tree.NumNodes(),
+		SizeBytes: ix.tree.SizeBytes(),
+		Height:    ix.tree.Height(),
+		Entries:   ix.tree.NumEntries(),
+	}
+}
+
+func (ix *bpIndex) Close() error { return nil }
+
+func (ix *bpIndex) Insert(key uint64, ref Ref) error {
+	return ix.tree.Insert(bptree.Entry{Key: key, Ref: ref})
+}
+
+func (ix *bpIndex) InternalPages() ([]PageID, error) { return ix.tree.InternalPages() }

@@ -1,0 +1,98 @@
+package index
+
+import (
+	"bftree/internal/fdtree"
+	"bftree/internal/heapfile"
+)
+
+func init() {
+	Register(Backend{
+		Name: "fdtree",
+		BulkLoad: func(store *Store, file *File, fieldIdx int, opts Options) (Index, error) {
+			entries, err := layoutEntries(file, fieldIdx, opts.DedupKeys)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := fdtree.BulkLoad(store, entries, opts.FDTree)
+			if err != nil {
+				return nil, err
+			}
+			return &fdIndex{tree: tr, store: store, file: file, fieldIdx: fieldIdx, dedup: opts.DedupKeys}, nil
+		},
+	})
+}
+
+// fdIndex adapts the FD-Tree comparator: the fractional-cascade search
+// (one run page per on-device level) yields tuple references, which the
+// shared fetch path resolves into the Result shape. It implements
+// Inserter and Flusher (the memory-resident head tree).
+type fdIndex struct {
+	tree     *fdtree.Tree
+	store    *Store
+	file     *heapfile.File
+	fieldIdx int
+	dedup    bool
+}
+
+func (ix *fdIndex) Search(key uint64) (*Result, error)      { return ix.search(key, false) }
+func (ix *fdIndex) SearchFirst(key uint64) (*Result, error) { return ix.search(key, true) }
+
+func (ix *fdIndex) search(key uint64, firstOnly bool) (*Result, error) {
+	refs, sstats, err := ix.tree.Search(key)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: ProbeStats{IndexReads: sstats.PagesRead}}
+	if len(refs) == 0 {
+		return res, nil
+	}
+	if ix.dedup {
+		err = fetchPointOrdered(ix.file, ix.fieldIdx, key, refs[0].Page, firstOnly, res)
+	} else {
+		err = fetchPointRefs(ix.file, ix.fieldIdx, key, refs, firstOnly, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (ix *fdIndex) RangeScan(lo, hi uint64) (*Result, error) {
+	refs, sstats, err := ix.tree.RangeScan(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: ProbeStats{IndexReads: sstats.PagesRead}}
+	if len(refs) == 0 {
+		return res, nil
+	}
+	if ix.dedup {
+		err = fetchRangeOrdered(ix.file, ix.fieldIdx, lo, hi, refs[0].Page, res)
+	} else {
+		err = fetchRangeRefs(ix.file, ix.fieldIdx, lo, hi, refs, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (ix *fdIndex) Stats() Stats {
+	pageSize := uint64(ix.store.PageSize())
+	size := ix.tree.SizeBytes()
+	return Stats{
+		Backend:   "fdtree",
+		Pages:     size / pageSize,
+		SizeBytes: size,
+		Height:    ix.tree.Levels() + 1, // head tree + on-device runs
+		Entries:   ix.tree.NumRecords(),
+	}
+}
+
+func (ix *fdIndex) Close() error { return nil }
+
+func (ix *fdIndex) Insert(key uint64, ref Ref) error { return ix.tree.Insert(key, ref) }
+
+// Flush forces the memory-resident head tree's records onto the device
+// through the merge cascade.
+func (ix *fdIndex) Flush() error { return ix.tree.FlushHead() }

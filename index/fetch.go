@@ -1,0 +1,146 @@
+package index
+
+import (
+	"sort"
+
+	"bftree/internal/device"
+	"bftree/internal/heapfile"
+)
+
+// The helpers below turn the exact backends' tuple references into the
+// shared Result shape: fetch the referenced data pages, keep the
+// matching tuples, and account every page read the way the BF-Tree's
+// own probe path does (DataPagesRead, FalseReads). Two access patterns
+// cover all backends: per-tuple reference lists (PK and hash layouts)
+// and the ordered scan from a first occurrence (deduplicated layouts,
+// Section 6.3 of the paper). Both funnel through collectPage, so the
+// read/match/false-read accounting lives in exactly one place.
+
+// appendTuple copies tup into res (results never alias page buffers).
+func appendTuple(res *Result, tup []byte) {
+	cp := make([]byte, len(tup))
+	copy(cp, tup)
+	res.Tuples = append(res.Tuples, cp)
+}
+
+// collectPage reads one data page and appends the tuples whose indexed
+// field satisfies match, charging one DataPagesRead and a FalseRead
+// when nothing on the page matched. It reports the number of matches,
+// whether any tuple lay beyond the probe (per the beyond predicate —
+// the ordered-scan stop signal), and stops after the first match when
+// firstOnly is set.
+func collectPage(file *heapfile.File, fieldIdx int, pid device.PageID, firstOnly bool,
+	match, beyond func(uint64) bool, res *Result) (matched int, past bool, err error) {
+	pageTuples, err := file.ReadPageTuples(pid)
+	if err != nil {
+		return 0, false, err
+	}
+	res.Stats.DataPagesRead++
+	for _, tup := range pageTuples {
+		v := file.Schema().Get(tup, fieldIdx)
+		if match(v) {
+			matched++
+			appendTuple(res, tup)
+			if firstOnly {
+				return matched, past, nil
+			}
+			continue
+		}
+		if beyond(v) {
+			past = true
+		}
+	}
+	if matched == 0 {
+		res.Stats.FalseReads++
+	}
+	return matched, past, nil
+}
+
+// scanOrderedPages resolves a deduplicated index's probe over an
+// ordered relation: consecutive data pages from the first occurrence
+// are read while they keep matching — "every probe with a positive
+// match will read all the consecutive tuples that have the same value"
+// (Section 6.3) — stopping when a page yields nothing or the keys move
+// beyond the probe.
+func scanOrderedPages(file *heapfile.File, fieldIdx int, start device.PageID, firstOnly bool,
+	match, beyond func(uint64) bool, res *Result) error {
+	last := file.FirstPage() + device.PageID(file.NumPages()) - 1
+	for pid := start; pid <= last; pid++ {
+		matched, past, err := collectPage(file, fieldIdx, pid, firstOnly, match, beyond, res)
+		if err != nil {
+			return err
+		}
+		if firstOnly && matched > 0 {
+			return nil
+		}
+		if matched == 0 || past {
+			return nil
+		}
+	}
+	return nil
+}
+
+// fetchPointOrdered is the ordered scan for a point probe: duplicates
+// of key are contiguous from the first occurrence.
+func fetchPointOrdered(file *heapfile.File, fieldIdx int, key uint64, start device.PageID, firstOnly bool, res *Result) error {
+	return scanOrderedPages(file, fieldIdx, start, firstOnly,
+		func(v uint64) bool { return v == key },
+		func(v uint64) bool { return v > key }, res)
+}
+
+// fetchRangeOrdered is the ordered scan for a range: sequential pages
+// from the range's first occurrence until the keys move past hi.
+func fetchRangeOrdered(file *heapfile.File, fieldIdx int, lo, hi uint64, start device.PageID, res *Result) error {
+	return scanOrderedPages(file, fieldIdx, start, false,
+		func(v uint64) bool { return v >= lo && v <= hi },
+		func(v uint64) bool { return v > hi }, res)
+}
+
+// never reports no tuple as beyond the probe — reference-list fetches
+// visit exactly the referenced pages and need no ordered-stop signal.
+func never(uint64) bool { return false }
+
+// fetchPointRefs resolves a per-tuple reference list for key:
+// consecutive references to the same page cost one read, exactly the
+// sorted access list the paper hands to the device. firstOnly stops at
+// the first match.
+func fetchPointRefs(file *heapfile.File, fieldIdx int, key uint64, refs []Ref, firstOnly bool, res *Result) error {
+	last := device.InvalidPage
+	for _, r := range refs {
+		if r.Page == last {
+			continue // page already fetched; its matches are collected
+		}
+		last = r.Page
+		matched, _, err := collectPage(file, fieldIdx, r.Page, firstOnly,
+			func(v uint64) bool { return v == key }, never, res)
+		if err != nil {
+			return err
+		}
+		if firstOnly && matched > 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// fetchRangeRefs resolves a per-tuple reference list for a range scan:
+// each distinct referenced page is read once, ascending, and its
+// in-range tuples collected.
+func fetchRangeRefs(file *heapfile.File, fieldIdx int, lo, hi uint64, refs []Ref, res *Result) error {
+	seen := make(map[device.PageID]bool, len(refs))
+	pages := make([]device.PageID, 0, len(refs))
+	for _, r := range refs {
+		if !seen[r.Page] {
+			seen[r.Page] = true
+			pages = append(pages, r.Page)
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	inRange := func(v uint64) bool { return v >= lo && v <= hi }
+	for _, pid := range pages {
+		if _, _, err := collectPage(file, fieldIdx, pid, false, inRange, never, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

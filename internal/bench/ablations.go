@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bftree/index"
 	"bftree/internal/core"
 	"bftree/internal/device"
 )
@@ -23,7 +24,8 @@ func RunAblationGranularity(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr, err := core.BulkLoad(env.IdxStore, syn.File, 0, core.Options{FPP: 1e-3, Granularity: g})
+		ix, err := BuildIndex("bftree", env, syn.File, 0,
+			index.Options{BFTree: core.Options{FPP: 1e-3, Granularity: g}})
 		if err != nil {
 			return nil, err
 		}
@@ -31,12 +33,12 @@ func RunAblationGranularity(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := MeasureBFTree(env, tr, keys, true)
+		m, err := MeasureIndex(env, ix, keys, true)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(fmt.Sprint(g), m.AvgTime.String(), fmtF(m.FalsePerProbe),
-			fmt.Sprint(m.DataReads), fmt.Sprint(tr.NumNodes()))
+			fmt.Sprint(m.DataReads), fmt.Sprint(ix.Stats().Pages))
 	}
 	t.Notes = append(t.Notes, "granularity 1 (one BF per page) reads the fewest data pages — the paper's chosen configuration")
 	return t, nil
@@ -55,7 +57,8 @@ func RunAblationHashCount(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr, err := core.BulkLoad(env.IdxStore, syn.File, 0, core.Options{FPP: 1e-2, Hashes: k})
+		ix, err := BuildIndex("bftree", env, syn.File, 0,
+			index.Options{BFTree: core.Options{FPP: 1e-2, Hashes: k}})
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +66,7 @@ func RunAblationHashCount(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := MeasureBFTree(env, tr, keys, true)
+		m, err := MeasureIndex(env, ix, keys, true)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +90,8 @@ func RunAblationParallelProbe(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr, err := core.BulkLoad(env.IdxStore, syn.File, 0, core.Options{FPP: 0.1, ParallelProbe: parallel})
+		ix, err := BuildIndex("bftree", env, syn.File, 0,
+			index.Options{BFTree: core.Options{FPP: 0.1, ParallelProbe: parallel}})
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +102,7 @@ func RunAblationParallelProbe(scale Scale) (*Table, error) {
 		start := time.Now()
 		tuples := 0
 		for _, k := range keys {
-			res, err := tr.SearchFirst(k)
+			res, err := ix.SearchFirst(k)
 			if err != nil {
 				return nil, err
 			}
@@ -117,7 +121,8 @@ func RunAblationParallelProbe(scale Scale) (*Table, error) {
 
 // RunAblationDeletes compares the two delete strategies of Section 7:
 // fpp drift with standard filters vs physical deletes with counting
-// filters (4x the leaf space).
+// filters (4x the leaf space) — deletes issued through the Deleter
+// capability of the unified interface.
 func RunAblationDeletes(scale Scale) (*Table, error) {
 	cfg := StorageConfig{Name: "mem/mem", Index: device.Memory, Data: device.Memory}
 	t := &Table{
@@ -129,7 +134,8 @@ func RunAblationDeletes(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr, err := core.BulkLoad(env.IdxStore, syn.File, 0, core.Options{FPP: 1e-3, Filter: kind})
+		ix, err := BuildIndex("bftree", env, syn.File, 0,
+			index.Options{BFTree: core.Options{FPP: 1e-3, Filter: kind}})
 		if err != nil {
 			return nil, err
 		}
@@ -137,13 +143,17 @@ func RunAblationDeletes(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		before, err := MeasureBFTree(env, tr, keys, true)
+		before, err := MeasureIndex(env, ix, keys, true)
 		if err != nil {
 			return nil, err
 		}
+		del, ok := ix.(index.Deleter)
+		if !ok {
+			return nil, fmt.Errorf("bench: bftree backend lost the Deleter capability")
+		}
 		// Delete every 10th key.
 		for k := uint64(0); k <= syn.MaxPK; k += 10 {
-			if err := tr.Delete(k, syn.File.PageOf(k)); err != nil {
+			if err := del.Delete(k, index.Ref{Page: syn.File.PageOf(k)}); err != nil {
 				return nil, err
 			}
 		}
@@ -154,7 +164,7 @@ func RunAblationDeletes(scale Scale) (*Table, error) {
 				survivors = append(survivors, k)
 			}
 		}
-		after, err := MeasureBFTree(env, tr, survivors, true)
+		after, err := MeasureIndex(env, ix, survivors, true)
 		if err != nil {
 			return nil, err
 		}
@@ -162,8 +172,9 @@ func RunAblationDeletes(scale Scale) (*Table, error) {
 		if kind == core.CountingFilter {
 			name = "counting(4-bit)"
 		}
-		t.AddRow(name, fmt.Sprint(tr.NumNodes()), fmtF(before.FalsePerProbe),
-			fmtF(after.FalsePerProbe), fmtF(tr.EffectiveFPP()))
+		st := ix.Stats()
+		t.AddRow(name, fmt.Sprint(st.Pages), fmtF(before.FalsePerProbe),
+			fmtF(after.FalsePerProbe), fmtF(st.EffectiveFPP))
 	}
 	t.Notes = append(t.Notes,
 		"standard filters keep deleted bits (fpp drifts up per Section 7); counting filters delete physically at 4x space")
@@ -172,7 +183,8 @@ func RunAblationDeletes(scale Scale) (*Table, error) {
 
 // RunAblationBufferedInserts measures the write amortization of the
 // Section 4.2 buffered-update mode: index page writes per insert for
-// direct inserts vs a buffered batch.
+// direct inserts vs a buffered batch — both modes driven through the
+// Inserter/Flusher capabilities.
 func RunAblationBufferedInserts(scale Scale) (*Table, error) {
 	cfg := StorageConfig{Name: "SSD/SSD", Index: device.SSD, Data: device.SSD}
 	t := &Table{
@@ -188,26 +200,24 @@ func RunAblationBufferedInserts(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr, err := core.BulkLoad(env.IdxStore, syn.File, 0, core.Options{FPP: 1e-3})
+		opts := index.Options{BFTree: core.Options{FPP: 1e-3}}
+		if buffered {
+			opts.BufferedInserts = int(n) + 1
+		}
+		ix, err := BuildIndex("bftree", env, syn.File, 0, opts)
 		if err != nil {
 			return nil, err
 		}
+		ins := ix.(index.Inserter)
 		env.ResetIO()
-		if buffered {
-			buf := tr.NewBufferedInserter(int(n) + 1)
-			for k := uint64(0); k < n; k++ {
-				if err := buf.Insert(k, syn.File.PageOf(k)); err != nil {
-					return nil, err
-				}
-			}
-			if err := buf.Flush(); err != nil {
+		for k := uint64(0); k < n; k++ {
+			if err := ins.Insert(k, index.Ref{Page: syn.File.PageOf(k)}); err != nil {
 				return nil, err
 			}
-		} else {
-			for k := uint64(0); k < n; k++ {
-				if err := tr.Insert(k, syn.File.PageOf(k)); err != nil {
-					return nil, err
-				}
+		}
+		if fl, ok := ix.(index.Flusher); ok {
+			if err := fl.Flush(); err != nil {
+				return nil, err
 			}
 		}
 		writes := env.IdxDev.Stats().Writes()

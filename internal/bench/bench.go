@@ -3,16 +3,20 @@
 // every figure and table, and renders the same rows and series the paper
 // reports. Each experiment of DESIGN.md's per-experiment index has a
 // Run* function here and a `bfbench -exp` alias.
+//
+// Every index is built and measured through the unified bftree/index
+// API: one BuildIndex/MeasureIndex path serves the BF-Tree and every
+// baseline alike, so the paper's comparison experiments are registry
+// walks and any point-lookup experiment runs against any registered
+// backend (`bfbench -index=...`).
 package bench
 
 import (
 	"fmt"
 	"time"
 
-	"bftree/internal/bptree"
-	"bftree/internal/core"
+	"bftree/index"
 	"bftree/internal/device"
-	"bftree/internal/hashindex"
 	"bftree/internal/heapfile"
 	"bftree/internal/pagestore"
 )
@@ -64,6 +68,20 @@ type Scale struct {
 	SHDTuples       uint64
 	Probes          int
 	Seed            int64
+
+	// Index selects the registered backend the point-lookup experiments
+	// probe ("bftree", "bptree", "fdtree", "hash"); empty selects the
+	// BF-Tree. The point-lookup experiment also accepts "each", walking
+	// the whole registry.
+	Index string
+}
+
+// IndexBackend resolves the Index selection, defaulting to the BF-Tree.
+func (s Scale) IndexBackend() string {
+	if s.Index == "" {
+		return "bftree"
+	}
+	return s.Index
 }
 
 // DefaultScale returns the CI-friendly scale (64 MB synthetic relation).
@@ -146,18 +164,26 @@ type Measurement struct {
 	Tuples        int // matching tuples found
 }
 
-// MeasureBFTree runs the probe batch against a BF-Tree; unique selects
-// the primary-key early-exit variant.
-func MeasureBFTree(env *Env, tr *core.Tree, keys []uint64, unique bool) (*Measurement, error) {
+// BuildIndex bulk-loads any registered backend over a cell's index
+// store — the one build path of every experiment.
+func BuildIndex(name string, env *Env, file *heapfile.File, fieldIdx int, opts index.Options) (index.Index, error) {
+	return index.New(name, env.IdxStore, file, fieldIdx, opts)
+}
+
+// MeasureIndex runs the probe batch against any backend through the
+// unified interface; unique selects the primary-key early-exit variant.
+// Device-level accounting (virtual I/O time, page reads) comes from the
+// cell's devices; false reads from the shared Result stats.
+func MeasureIndex(env *Env, ix index.Index, keys []uint64, unique bool) (*Measurement, error) {
 	env.ResetIO()
 	var falseReads, tuples int
 	for _, k := range keys {
-		var res *core.Result
+		var res *index.Result
 		var err error
 		if unique {
-			res, err = tr.SearchFirst(k)
+			res, err = ix.SearchFirst(k)
 		} else {
-			res, err = tr.Search(k)
+			res, err = ix.Search(k)
 		}
 		if err != nil {
 			return nil, err
@@ -174,87 +200,6 @@ func MeasureBFTree(env *Env, tr *core.Tree, keys []uint64, unique bool) (*Measur
 	}, nil
 }
 
-// MeasureBPTree runs the probe batch against the B+-Tree baseline: probe
-// the index, then fetch every referenced tuple's page (consecutive
-// references to the same page cost one read).
-func MeasureBPTree(env *Env, tr *bptree.Tree, file *heapfile.File, fieldIdx int, keys []uint64) (*Measurement, error) {
-	env.ResetIO()
-	tuples := 0
-	for _, k := range keys {
-		refs, err := tr.Search(k)
-		if err != nil {
-			return nil, err
-		}
-		n, err := fetchRefs(file, fieldIdx, k, refs)
-		if err != nil {
-			return nil, err
-		}
-		tuples += n
-	}
-	return &Measurement{
-		AvgTime:   env.Elapsed() / time.Duration(len(keys)),
-		DataReads: env.DataDev.Stats().Reads(),
-		IdxReads:  env.IdxDev.Stats().Reads(),
-		Tuples:    tuples,
-	}, nil
-}
-
-// MeasureHash runs the probe batch against the in-memory hash index.
-func MeasureHash(env *Env, idx *hashindex.Index, file *heapfile.File, fieldIdx int, keys []uint64) (*Measurement, error) {
-	env.ResetIO()
-	tuples := 0
-	for _, k := range keys {
-		refs := idx.Search(k)
-		n, err := fetchRefs(file, fieldIdx, k, refs)
-		if err != nil {
-			return nil, err
-		}
-		tuples += n
-	}
-	return &Measurement{
-		AvgTime:   env.Elapsed() / time.Duration(len(keys)),
-		DataReads: env.DataDev.Stats().Reads(),
-		IdxReads:  env.IdxDev.Stats().Reads(),
-		Tuples:    tuples,
-	}, nil
-}
-
-// fetchRefs reads the data pages of a reference list and counts the
-// matching tuples, deduplicating consecutive same-page references.
-func fetchRefs(file *heapfile.File, fieldIdx int, key uint64, refs []bptree.TupleRef) (int, error) {
-	n := 0
-	last := device.InvalidPage
-	for _, r := range refs {
-		if r.Page == last {
-			continue // page already fetched; its matches are counted
-		}
-		tuples, err := file.SearchPage(r.Page, fieldIdx, key)
-		if err != nil {
-			return 0, err
-		}
-		n += len(tuples)
-		last = r.Page
-	}
-	return n, nil
-}
-
-// BuildPKEntries extracts (pk, ref) entries from a file for baseline
-// index builds.
-func BuildPKEntries(file *heapfile.File, fieldIdx int) ([]bptree.Entry, error) {
-	entries := make([]bptree.Entry, 0, file.NumTuples())
-	err := file.Scan(func(pid device.PageID, slot int, tup []byte) bool {
-		entries = append(entries, bptree.Entry{
-			Key: file.Schema().Get(tup, fieldIdx),
-			Ref: bptree.TupleRef{Page: pid, Slot: uint16(slot)},
-		})
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	return entries, nil
-}
-
 // WarmIndex loads a tree's internal pages into the index store's cache,
 // modelling the warm-cache setup where the levels above the leaves are
 // resident (Section 6.2's "the nodes of the higher levels of a B+-Tree
@@ -266,77 +211,20 @@ func WarmIndex(env *Env, internal []device.PageID) error {
 	return env.IdxStore.Warm(internal)
 }
 
-// BuildDedupEntries returns one entry per distinct key — its first
-// occurrence in file order. This is the B+-Tree baseline the paper uses
-// for ordered non-unique attributes: Equation 3 stores each key once
-// (keysize/avgcard per tuple), and Table 2's ATT1 column (1748 pages vs
-// 19296 for the PK) matches only a deduplicated index.
-func BuildDedupEntries(file *heapfile.File, fieldIdx int) ([]bptree.Entry, error) {
-	var entries []bptree.Entry
-	var last uint64
-	have := false
-	err := file.Scan(func(pid device.PageID, slot int, tup []byte) bool {
-		k := file.Schema().Get(tup, fieldIdx)
-		if !have || k != last {
-			entries = append(entries, bptree.Entry{
-				Key: k,
-				Ref: bptree.TupleRef{Page: pid, Slot: uint16(slot)},
-			})
-			last = k
-			have = true
-		}
-		return true
-	})
+// WarmBuiltIndex warms a built index's internal pages when the backend
+// exposes them (the Warmable capability); memory-resident backends have
+// nothing to warm and pass through.
+func WarmBuiltIndex(env *Env, ix index.Index) error {
+	w, ok := ix.(index.Warmable)
+	if !ok {
+		return nil
+	}
+	internal, err := w.InternalPages()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return entries, nil
-}
-
-// MeasureBPTreeOrdered probes a deduplicated B+-Tree over an ordered
-// attribute: one descent to the first occurrence, then consecutive data
-// pages are read while they keep matching — "every probe with a positive
-// match will read all the consecutive tuples that have the same value"
-// (Section 6.3).
-func MeasureBPTreeOrdered(env *Env, tr *bptree.Tree, file *heapfile.File, fieldIdx int, keys []uint64) (*Measurement, error) {
-	env.ResetIO()
-	tuples := 0
-	last := file.FirstPage() + device.PageID(file.NumPages()) - 1
-	for _, k := range keys {
-		refs, err := tr.Search(k)
-		if err != nil {
-			return nil, err
-		}
-		if len(refs) == 0 {
-			continue
-		}
-		for pid := refs[0].Page; pid <= last; pid++ {
-			pageTuples, err := file.ReadPageTuples(pid)
-			if err != nil {
-				return nil, err
-			}
-			matched := 0
-			past := false
-			for _, tup := range pageTuples {
-				switch v := file.Schema().Get(tup, fieldIdx); {
-				case v == k:
-					matched++
-				case v > k:
-					past = true
-				}
-			}
-			tuples += matched
-			// Duplicates are contiguous: stop when a page yields nothing
-			// or the key range has moved past the probe key.
-			if matched == 0 || past {
-				break
-			}
-		}
+	if len(internal) == 0 {
+		return nil
 	}
-	return &Measurement{
-		AvgTime:   env.Elapsed() / time.Duration(len(keys)),
-		DataReads: env.DataDev.Stats().Reads(),
-		IdxReads:  env.IdxDev.Stats().Reads(),
-		Tuples:    tuples,
-	}, nil
+	return WarmIndex(env, internal)
 }

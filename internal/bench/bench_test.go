@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"bftree/index"
+	"bftree/internal/bptree"
 	"bftree/internal/device"
 	"bftree/internal/workload"
 )
@@ -51,14 +53,10 @@ func TestScales(t *testing.T) {
 	}
 }
 
-func TestMeasureBFTreeAndBaselines(t *testing.T) {
+func TestMeasureIndexAcrossBackends(t *testing.T) {
 	scale := tinyScale()
 	cfg := StorageConfig{Name: "SSD/HDD", Index: device.SSD, Data: device.HDD}
 	env, syn, err := syntheticEnv(cfg, scale, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	bf, err := buildBF(env, syn, 0, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,31 +64,33 @@ func TestMeasureBFTreeAndBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := MeasureBFTree(env, bf, keys, true)
-	if err != nil {
-		t.Fatal(err)
+	// Every registered backend answers the PK probe batch with the same
+	// tuple count through the one generic measurement path.
+	tuples := map[string]int{}
+	for _, name := range index.Backends() {
+		ix, err := BuildIndex(name, env, syn.File, 0, pointOpts(0, 1e-3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m, err := MeasureIndex(env, ix, keys, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Tuples != len(keys) {
+			t.Errorf("%s: PK probes found %d tuples for %d probes", name, m.Tuples, len(keys))
+		}
+		if m.AvgTime < 0 {
+			t.Errorf("%s: negative avg time", name)
+		}
+		tuples[name] = m.Tuples
+		if err := ix.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if m.Tuples != len(keys) {
-		t.Errorf("PK probes found %d tuples for %d probes", m.Tuples, len(keys))
-	}
-	if m.AvgTime <= 0 {
-		t.Error("avg time must be positive")
-	}
-
-	bp, err := buildBP(env, syn, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mbp, err := MeasureBPTree(env, bp, syn.File, 0, keys)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if mbp.Tuples != len(keys) {
-		t.Errorf("B+ probes found %d tuples for %d probes", mbp.Tuples, len(keys))
-	}
-	// Both indexes agree on the answer set size.
-	if m.Tuples != mbp.Tuples {
-		t.Errorf("BF %d vs B+ %d tuples", m.Tuples, mbp.Tuples)
+	for name, n := range tuples {
+		if n != tuples["bftree"] {
+			t.Errorf("%s found %d tuples, bftree %d", name, n, tuples["bftree"])
+		}
 	}
 }
 
@@ -258,7 +258,7 @@ func TestBuildPKEntriesSorted(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = env
-	entries, err := BuildPKEntries(syn.File, 0)
+	entries, err := bptree.PKEntries(syn.File, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -99,7 +99,7 @@ func ConcurrentProbeSweep(scale Scale, workerCounts []int) ([]*ConcurrentResult,
 	if err != nil {
 		return nil, err
 	}
-	tr, err := buildBF(env, syn, 1, 1e-3)
+	tr, err := core.BulkLoad(env.IdxStore, syn.File, 1, core.Options{FPP: 1e-3})
 	if err != nil {
 		return nil, err
 	}

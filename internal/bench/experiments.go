@@ -5,10 +5,9 @@ import (
 	"sort"
 	"time"
 
-	"bftree/internal/bptree"
+	"bftree/index"
 	"bftree/internal/core"
 	"bftree/internal/device"
-	"bftree/internal/hashindex"
 	"bftree/internal/workload"
 )
 
@@ -63,34 +62,49 @@ func att1Probes(syn *workload.Synthetic, scale Scale) ([]uint64, error) {
 	return ps.Keys, nil
 }
 
-// buildBF bulk-loads a BF-Tree in a cell.
-func buildBF(env *Env, syn *workload.Synthetic, fieldIdx int, fpp float64) (*core.Tree, error) {
-	return core.BulkLoad(env.IdxStore, syn.File, fieldIdx, core.Options{FPP: fpp})
+// syntheticProbes picks the probe batch for a field of the synthetic
+// relation: unique-PK probes for field 0, ATT1 probes otherwise.
+func syntheticProbes(syn *workload.Synthetic, scale Scale, fieldIdx int) ([]uint64, bool, error) {
+	if fieldIdx == 0 {
+		keys, err := pkProbes(syn, scale)
+		return keys, true, err
+	}
+	keys, err := att1Probes(syn, scale)
+	return keys, false, err
 }
 
-// buildBP bulk-loads the B+-Tree baseline in a cell: per-tuple entries
-// for the unique PK, one entry per distinct key for ordered non-unique
-// attributes (the paper's baseline; see BuildDedupEntries).
-func buildBP(env *Env, syn *workload.Synthetic, fieldIdx int) (*bptree.Tree, error) {
-	var entries []bptree.Entry
-	var err error
-	if fieldIdx == 0 {
-		entries, err = BuildPKEntries(syn.File, fieldIdx)
-	} else {
-		entries, err = BuildDedupEntries(syn.File, fieldIdx)
+// pointOpts returns the build options of a point-lookup experiment:
+// the fpp for approximate backends, the deduplicated entry layout for
+// exact tree backends over ordered non-unique attributes (the paper's
+// baseline; field 0 is the unique PK).
+func pointOpts(fieldIdx int, fpp float64) index.Options {
+	return index.Options{
+		BFTree:    core.Options{FPP: fpp},
+		DedupKeys: fieldIdx != 0,
 	}
-	if err != nil {
-		return nil, err
-	}
-	return bptree.BulkLoad(env.IdxStore, entries, 1.0)
 }
 
-// measureBP picks the probe style matching the entry layout.
-func measureBP(env *Env, tr *bptree.Tree, syn *workload.Synthetic, fieldIdx int, keys []uint64) (*Measurement, error) {
-	if fieldIdx == 0 {
-		return MeasureBPTree(env, tr, syn.File, fieldIdx, keys)
+// sweepFPPs adapts an fpp sweep to a backend: approximate backends get
+// the full sweep, exact ones a single don't-care point (their build
+// ignores the fpp, so one row carries everything).
+func sweepFPPs(backend string, fpps []float64) ([]float64, error) {
+	b, ok := index.Lookup(backend)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown index backend %q (have %v)", backend, index.Backends())
 	}
-	return MeasureBPTreeOrdered(env, tr, syn.File, fieldIdx, keys)
+	if b.Approximate {
+		return fpps, nil
+	}
+	return []float64{0}, nil
+}
+
+// fppLabel renders a sweep point; the exact backends' don't-care point
+// shows as "-".
+func fppLabel(fpp float64) string {
+	if fpp == 0 {
+		return "-"
+	}
+	return fmtF(fpp)
 }
 
 // RunTable2 reproduces Table 2: index size in pages for the B+-Tree and
@@ -107,47 +121,54 @@ func RunTable2(scale Scale) (*Table, error) {
 			scale.SyntheticTuples, scale.SyntheticTuples*256/(1<<20)),
 		Header: []string{"variation", "fpp", "pages(PK)", "pages(ATT1)", "gain(PK)", "gain(ATT1)"},
 	}
-	bpPK, err := buildBP(env, syn, 0)
+	bpPK, err := BuildIndex("bptree", env, syn.File, 0, pointOpts(0, 0))
 	if err != nil {
 		return nil, err
 	}
-	bpATT, err := buildBP(env, syn, 1)
+	bpATT, err := BuildIndex("bptree", env, syn.File, 1, pointOpts(1, 0))
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("B+-Tree", "-", fmt.Sprint(bpPK.NumNodes()), fmt.Sprint(bpATT.NumNodes()), "1x", "1x")
+	pkPages, attPages := bpPK.Stats().Pages, bpATT.Stats().Pages
+	t.AddRow("B+-Tree", "-", fmt.Sprint(pkPages), fmt.Sprint(attPages), "1x", "1x")
 	for _, fpp := range table2FPPs {
-		bfPK, err := buildBF(env, syn, 0, fpp)
+		bfPK, err := BuildIndex("bftree", env, syn.File, 0, pointOpts(0, fpp))
 		if err != nil {
 			return nil, err
 		}
-		bfATT, err := buildBF(env, syn, 1, fpp)
+		bfATT, err := BuildIndex("bftree", env, syn.File, 1, pointOpts(1, fpp))
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow("BF-Tree", fmtF(fpp),
-			fmt.Sprint(bfPK.NumNodes()), fmt.Sprint(bfATT.NumNodes()),
-			fmt.Sprintf("%.3gx", float64(bpPK.NumNodes())/float64(bfPK.NumNodes())),
-			fmt.Sprintf("%.3gx", float64(bpATT.NumNodes())/float64(bfATT.NumNodes())))
+			fmt.Sprint(bfPK.Stats().Pages), fmt.Sprint(bfATT.Stats().Pages),
+			fmt.Sprintf("%.3gx", float64(pkPages)/float64(bfPK.Stats().Pages)),
+			fmt.Sprintf("%.3gx", float64(attPages)/float64(bfATT.Stats().Pages)))
 	}
 	t.Notes = append(t.Notes, "paper (1GB): PK gain 48x at fpp=0.2 down to 2.25x at 1e-15; ATT1 46x to 2.22x")
 	return t, nil
 }
 
 // RunTable3 reproduces Table 3: falsely read data pages per search for
-// the PK index (100 % hits) and the ATT1 index (14 % hits).
+// the PK index (100 % hits) and the ATT1 index (14 % hits). The -index
+// flag swaps in any registered backend (exact backends report 0).
 func RunTable3(scale Scale) (*Table, error) {
 	cfg := StorageConfig{Name: "mem/mem", Index: device.Memory, Data: device.Memory}
+	backend := scale.IndexBackend()
+	fpps, err := sweepFPPs(backend, table3FPPs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
-		Title:  "Table 3: false reads per search",
+		Title:  fmt.Sprintf("Table 3: false reads per search (%s)", backend),
 		Header: []string{"fpp", "false-reads(PK)", "false-reads(ATT1)"},
 	}
-	for _, fpp := range table3FPPs {
+	for _, fpp := range fpps {
 		env, syn, err := syntheticEnv(cfg, scale, 0)
 		if err != nil {
 			return nil, err
 		}
-		bfPK, err := buildBF(env, syn, 0, fpp)
+		ixPK, err := BuildIndex(backend, env, syn.File, 0, pointOpts(0, fpp))
 		if err != nil {
 			return nil, err
 		}
@@ -155,11 +176,11 @@ func RunTable3(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mPK, err := MeasureBFTree(env, bfPK, pk, true)
+		mPK, err := MeasureIndex(env, ixPK, pk, true)
 		if err != nil {
 			return nil, err
 		}
-		bfATT, err := buildBF(env, syn, 1, fpp)
+		ixATT, err := BuildIndex(backend, env, syn.File, 1, pointOpts(1, fpp))
 		if err != nil {
 			return nil, err
 		}
@@ -167,56 +188,57 @@ func RunTable3(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mATT, err := MeasureBFTree(env, bfATT, att, false)
+		mATT, err := MeasureIndex(env, ixATT, att, false)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmtF(fpp), fmtF(mPK.FalsePerProbe), fmtF(mATT.FalsePerProbe))
+		t.AddRow(fppLabel(fpp), fmtF(mPK.FalsePerProbe), fmtF(mATT.FalsePerProbe))
 	}
 	t.Notes = append(t.Notes, "paper (1GB): PK 13.58 → 0.01; ATT1 701 → 0.04 over the same sweep")
 	return t, nil
 }
 
-// RunFig5a reproduces Figure 5(a): PK BF-Tree response time across the
-// fpp sweep for the five storage configurations.
+// RunFig5a reproduces Figure 5(a): PK response time across the fpp
+// sweep for the five storage configurations, for the selected backend
+// (BF-Tree by default; -index swaps in any registered one).
 func RunFig5a(scale Scale) (*Table, error) {
-	return runPerfSweep(scale, 0, true, "Figure 5(a): PK BF-Tree avg response time")
+	return runPerfSweep(scale, 0, "Figure 5(a): PK avg response time")
 }
 
 // RunFig8a reproduces Figure 8(a): the same sweep for the non-unique
 // ATT1 index at 14 % hit rate.
 func RunFig8a(scale Scale) (*Table, error) {
-	return runPerfSweep(scale, 1, false, "Figure 8(a): ATT1 BF-Tree avg response time")
+	return runPerfSweep(scale, 1, "Figure 8(a): ATT1 avg response time")
 }
 
-func runPerfSweep(scale Scale, fieldIdx int, unique bool, title string) (*Table, error) {
+func runPerfSweep(scale Scale, fieldIdx int, title string) (*Table, error) {
+	backend := scale.IndexBackend()
+	fpps, err := sweepFPPs(backend, fig5FPPs)
+	if err != nil {
+		return nil, err
+	}
 	configs := FiveConfigs()
 	header := []string{"fpp"}
 	for _, c := range configs {
 		header = append(header, c.Name)
 	}
-	t := &Table{Title: title, Header: header}
-	for _, fpp := range fig5FPPs {
-		row := []string{fmtF(fpp)}
+	t := &Table{Title: fmt.Sprintf("%s (%s)", title, backend), Header: header}
+	for _, fpp := range fpps {
+		row := []string{fppLabel(fpp)}
 		for _, cfg := range configs {
 			env, syn, err := syntheticEnv(cfg, scale, 0)
 			if err != nil {
 				return nil, err
 			}
-			tr, err := buildBF(env, syn, fieldIdx, fpp)
+			ix, err := BuildIndex(backend, env, syn.File, fieldIdx, pointOpts(fieldIdx, fpp))
 			if err != nil {
 				return nil, err
 			}
-			var keys []uint64
-			if unique {
-				keys, err = pkProbes(syn, scale)
-			} else {
-				keys, err = att1Probes(syn, scale)
-			}
+			keys, unique, err := syntheticProbes(syn, scale, fieldIdx)
 			if err != nil {
 				return nil, err
 			}
-			m, err := MeasureBFTree(env, tr, keys, unique)
+			m, err := MeasureIndex(env, ix, keys, unique)
 			if err != nil {
 				return nil, err
 			}
@@ -228,69 +250,58 @@ func runPerfSweep(scale Scale, fieldIdx int, unique bool, title string) (*Table,
 	return t, nil
 }
 
-// RunFig5b reproduces Figure 5(b): the B+-Tree baseline across the five
-// configurations plus the memory-resident hash index.
+// RunFig5b reproduces Figure 5(b): the exact baselines across the
+// storage configurations — a walk over every registered non-approximate
+// backend (B+-Tree and FD-Tree on all five, the memory-resident hash on
+// the two data-device cells).
 func RunFig5b(scale Scale) (*Table, error) {
-	return runBaselines(scale, 0, "Figure 5(b): PK baselines avg response time", true)
+	return runBaselines(scale, 0, "Figure 5(b): PK baselines avg response time")
 }
 
 // RunFig8b reproduces Figure 8(b): ATT1 baselines.
 func RunFig8b(scale Scale) (*Table, error) {
-	return runBaselines(scale, 1, "Figure 8(b): ATT1 baselines avg response time", false)
+	return runBaselines(scale, 1, "Figure 8(b): ATT1 baselines avg response time")
 }
 
-func runBaselines(scale Scale, fieldIdx int, title string, unique bool) (*Table, error) {
-	t := &Table{Title: title, Header: []string{"index", "config", "avg-time"}}
-	for _, cfg := range FiveConfigs() {
-		env, syn, err := syntheticEnv(cfg, scale, 0)
-		if err != nil {
-			return nil, err
-		}
-		bp, err := buildBP(env, syn, fieldIdx)
-		if err != nil {
-			return nil, err
-		}
-		var keys []uint64
-		if unique {
-			keys, err = pkProbes(syn, scale)
-		} else {
-			keys, err = att1Probes(syn, scale)
-		}
-		if err != nil {
-			return nil, err
-		}
-		m, err := measureBP(env, bp, syn, fieldIdx, keys)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("B+-Tree", cfg.Name, m.AvgTime.String())
+// baselineConfigs returns the storage configurations applicable to a
+// backend: all five for on-device indexes, the data-device axis only
+// for memory-resident ones.
+func baselineConfigs(b index.Backend) []StorageConfig {
+	if !b.MemoryResident {
+		return FiveConfigs()
 	}
-	// Hash index: always memory-resident; data on HDD and on SSD.
-	for _, dataKind := range []device.Kind{device.HDD, device.SSD} {
-		cfg := StorageConfig{Name: "mem/" + dataKind.String(), Index: device.Memory, Data: dataKind}
-		env, syn, err := syntheticEnv(cfg, scale, 0)
-		if err != nil {
-			return nil, err
+	return []StorageConfig{
+		{Name: "mem/HDD", Index: device.Memory, Data: device.HDD},
+		{Name: "mem/SSD", Index: device.Memory, Data: device.SSD},
+	}
+}
+
+func runBaselines(scale Scale, fieldIdx int, title string) (*Table, error) {
+	t := &Table{Title: title, Header: []string{"index", "config", "avg-time"}}
+	for _, name := range index.Backends() {
+		b, _ := index.Lookup(name)
+		if b.Approximate {
+			continue // the approximate side is Figures 5(a)/8(a)
 		}
-		entries, err := BuildPKEntries(syn.File, fieldIdx)
-		if err != nil {
-			return nil, err
+		for _, cfg := range baselineConfigs(b) {
+			env, syn, err := syntheticEnv(cfg, scale, 0)
+			if err != nil {
+				return nil, err
+			}
+			ix, err := BuildIndex(name, env, syn.File, fieldIdx, pointOpts(fieldIdx, 0))
+			if err != nil {
+				return nil, err
+			}
+			keys, unique, err := syntheticProbes(syn, scale, fieldIdx)
+			if err != nil {
+				return nil, err
+			}
+			m, err := MeasureIndex(env, ix, keys, unique)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, cfg.Name, m.AvgTime.String())
 		}
-		hi := hashindex.Build(entries)
-		var keys []uint64
-		if unique {
-			keys, err = pkProbes(syn, scale)
-		} else {
-			keys, err = att1Probes(syn, scale)
-		}
-		if err != nil {
-			return nil, err
-		}
-		m, err := MeasureHash(env, hi, syn.File, fieldIdx, keys)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("hash(mem)", cfg.Name, m.AvgTime.String())
 	}
 	return t, nil
 }
@@ -306,15 +317,15 @@ type breakEvenRow struct {
 // RunFig6 reproduces Figure 6: PK break-even points — normalized
 // performance vs capacity gain per storage configuration.
 func RunFig6(scale Scale) (*Table, error) {
-	return runBreakEven(scale, 0, true, "Figure 6: PK break-even points (norm perf >1 means BF-Tree faster)")
+	return runBreakEven(scale, 0, "Figure 6: PK break-even points (norm perf >1 means BF-Tree faster)")
 }
 
 // RunFig9 reproduces Figure 9: ATT1 break-even points.
 func RunFig9(scale Scale) (*Table, error) {
-	return runBreakEven(scale, 1, false, "Figure 9: ATT1 break-even points (norm perf >1 means BF-Tree faster)")
+	return runBreakEven(scale, 1, "Figure 9: ATT1 break-even points (norm perf >1 means BF-Tree faster)")
 }
 
-func runBreakEven(scale Scale, fieldIdx int, unique bool, title string) (*Table, error) {
+func runBreakEven(scale Scale, fieldIdx int, title string) (*Table, error) {
 	var rows []breakEvenRow
 	for _, cfg := range FiveConfigs() {
 		// Baseline per config.
@@ -322,43 +333,33 @@ func runBreakEven(scale Scale, fieldIdx int, unique bool, title string) (*Table,
 		if err != nil {
 			return nil, err
 		}
-		bp, err := buildBP(env, syn, fieldIdx)
+		bp, err := BuildIndex("bptree", env, syn.File, fieldIdx, pointOpts(fieldIdx, 0))
 		if err != nil {
 			return nil, err
 		}
-		var keys []uint64
-		if unique {
-			keys, err = pkProbes(syn, scale)
-		} else {
-			keys, err = att1Probes(syn, scale)
-		}
+		keys, unique, err := syntheticProbes(syn, scale, fieldIdx)
 		if err != nil {
 			return nil, err
 		}
-		mBP, err := measureBP(env, bp, syn, fieldIdx, keys)
+		mBP, err := MeasureIndex(env, bp, keys, unique)
 		if err != nil {
 			return nil, err
 		}
-		bpSize := bp.NumNodes()
+		bpSize := bp.Stats().Pages
 		for _, fpp := range fig5FPPs {
 			env2, syn2, err := syntheticEnv(cfg, scale, 0)
 			if err != nil {
 				return nil, err
 			}
-			bf, err := buildBF(env2, syn2, fieldIdx, fpp)
+			bf, err := BuildIndex("bftree", env2, syn2.File, fieldIdx, pointOpts(fieldIdx, fpp))
 			if err != nil {
 				return nil, err
 			}
-			var keys2 []uint64
-			if unique {
-				keys2, err = pkProbes(syn2, scale)
-			} else {
-				keys2, err = att1Probes(syn2, scale)
-			}
+			keys2, unique2, err := syntheticProbes(syn2, scale, fieldIdx)
 			if err != nil {
 				return nil, err
 			}
-			m, err := MeasureBFTree(env2, bf, keys2, unique)
+			m, err := MeasureIndex(env2, bf, keys2, unique2)
 			if err != nil {
 				return nil, err
 			}
@@ -366,7 +367,7 @@ func runBreakEven(scale Scale, fieldIdx int, unique bool, title string) (*Table,
 			rows = append(rows, breakEvenRow{
 				config:   cfg.Name,
 				fpp:      fpp,
-				gain:     float64(bpSize) / float64(bf.NumNodes()),
+				gain:     float64(bpSize) / float64(bf.Stats().Pages),
 				normPerf: perf,
 			})
 		}
@@ -390,15 +391,15 @@ func runBreakEven(scale Scale, fieldIdx int, unique bool, title string) (*Table,
 // SSD/SSD, SSD/HDD and HDD/HDD — the B+-Tree against the fastest
 // BF-Tree.
 func RunFig7(scale Scale) (*Table, error) {
-	return runWarm(scale, 0, true, "Figure 7: PK with warm caches (internal index levels resident)")
+	return runWarm(scale, 0, "Figure 7: PK with warm caches (internal index levels resident)")
 }
 
 // RunFig10 reproduces Figure 10: ATT1 with warm caches.
 func RunFig10(scale Scale) (*Table, error) {
-	return runWarm(scale, 1, false, "Figure 10: ATT1 with warm caches (internal index levels resident)")
+	return runWarm(scale, 1, "Figure 10: ATT1 with warm caches (internal index levels resident)")
 }
 
-func runWarm(scale Scale, fieldIdx int, unique bool, title string) (*Table, error) {
+func runWarm(scale Scale, fieldIdx int, title string) (*Table, error) {
 	const cachePages = 65536
 	t := &Table{Title: title, Header: []string{"config", "B+-Tree", "best BF-Tree", "bf-fpp", "capacity-gain"}}
 	for _, cfg := range WarmConfigs() {
@@ -406,30 +407,22 @@ func runWarm(scale Scale, fieldIdx int, unique bool, title string) (*Table, erro
 		if err != nil {
 			return nil, err
 		}
-		bp, err := buildBP(env, syn, fieldIdx)
+		bp, err := BuildIndex("bptree", env, syn.File, fieldIdx, pointOpts(fieldIdx, 0))
 		if err != nil {
 			return nil, err
 		}
-		internal, err := bp.InternalPages()
+		if err := WarmBuiltIndex(env, bp); err != nil {
+			return nil, err
+		}
+		keys, unique, err := syntheticProbes(syn, scale, fieldIdx)
 		if err != nil {
 			return nil, err
 		}
-		if err := WarmIndex(env, internal); err != nil {
-			return nil, err
-		}
-		var keys []uint64
-		if unique {
-			keys, err = pkProbes(syn, scale)
-		} else {
-			keys, err = att1Probes(syn, scale)
-		}
+		mBP, err := MeasureIndex(env, bp, keys, unique)
 		if err != nil {
 			return nil, err
 		}
-		mBP, err := measureBP(env, bp, syn, fieldIdx, keys)
-		if err != nil {
-			return nil, err
-		}
+		bpPages := bp.Stats().Pages
 		bestTime := time.Duration(1<<62 - 1)
 		bestFPP := 0.0
 		bestGain := 0.0
@@ -438,36 +431,25 @@ func runWarm(scale Scale, fieldIdx int, unique bool, title string) (*Table, erro
 			if err != nil {
 				return nil, err
 			}
-			bf, err := buildBF(env2, syn2, fieldIdx, fpp)
+			bf, err := BuildIndex("bftree", env2, syn2.File, fieldIdx, pointOpts(fieldIdx, fpp))
 			if err != nil {
 				return nil, err
 			}
-			internalBF, err := bf.InternalPages()
+			if err := WarmBuiltIndex(env2, bf); err != nil {
+				return nil, err
+			}
+			keys2, unique2, err := syntheticProbes(syn2, scale, fieldIdx)
 			if err != nil {
 				return nil, err
 			}
-			if len(internalBF) > 0 {
-				if err := WarmIndex(env2, internalBF); err != nil {
-					return nil, err
-				}
-			}
-			var keys2 []uint64
-			if unique {
-				keys2, err = pkProbes(syn2, scale)
-			} else {
-				keys2, err = att1Probes(syn2, scale)
-			}
-			if err != nil {
-				return nil, err
-			}
-			m, err := MeasureBFTree(env2, bf, keys2, unique)
+			m, err := MeasureIndex(env2, bf, keys2, unique2)
 			if err != nil {
 				return nil, err
 			}
 			if m.AvgTime < bestTime {
 				bestTime = m.AvgTime
 				bestFPP = fpp
-				bestGain = float64(bp.NumNodes()) / float64(bf.NumNodes())
+				bestGain = float64(bpPages) / float64(bf.Stats().Pages)
 			}
 		}
 		t.AddRow(cfg.Name, mBP.AvgTime.String(), bestTime.String(), fmtF(bestFPP), fmtF(bestGain)+"x")

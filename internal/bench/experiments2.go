@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"bftree/internal/bptree"
+	"bftree/index"
 	"bftree/internal/core"
-	"bftree/internal/fdtree"
 	"bftree/internal/workload"
 )
 
@@ -78,6 +77,7 @@ func RunFig11(scale Scale) (*Table, error) {
 		header = append(header, c.Name)
 	}
 	t := &Table{Title: "Figure 11: TPCH shipdate, BF-Tree time / B+-Tree time", Header: header}
+	shipIdx := workload.TPCHSchema.FieldIndex("shipdate")
 	for _, hr := range fig11HitRates {
 		row := []string{fmtF(hr)}
 		for _, cfg := range configs {
@@ -85,12 +85,7 @@ func RunFig11(scale Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			shipIdx := workload.TPCHSchema.FieldIndex("shipdate")
-			entries, err := BuildDedupEntries(tp.File, shipIdx)
-			if err != nil {
-				return nil, err
-			}
-			bp, err := bptree.BulkLoad(env.IdxStore, entries, 1.0)
+			bp, err := BuildIndex("bptree", env, tp.File, shipIdx, pointOpts(shipIdx, 0))
 			if err != nil {
 				return nil, err
 			}
@@ -98,7 +93,7 @@ func RunFig11(scale Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			mBP, err := MeasureBPTreeOrdered(env, bp, tp.File, shipIdx, keys)
+			mBP, err := MeasureIndex(env, bp, keys, false)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +102,7 @@ func RunFig11(scale Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			bf, err := core.BulkLoad(env2.IdxStore, tp2.File, shipIdx, core.Options{FPP: fpp})
+			bf, err := BuildIndex("bftree", env2, tp2.File, shipIdx, pointOpts(shipIdx, fpp))
 			if err != nil {
 				return nil, err
 			}
@@ -115,7 +110,7 @@ func RunFig11(scale Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			mBF, err := MeasureBFTree(env2, bf, keys2, false)
+			mBF, err := MeasureIndex(env2, bf, keys2, false)
 			if err != nil {
 				return nil, err
 			}
@@ -143,11 +138,9 @@ func RunFig12a(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		entries, err := BuildDedupEntries(shd.File, tsIdx)
-		if err != nil {
-			return nil, err
-		}
-		bp, err := bptree.BulkLoad(env.IdxStore, entries, 1.0)
+		// The SHD timestamp is field 0 but non-unique: the baselines use
+		// the deduplicated ordered layout regardless of field position.
+		bp, err := BuildIndex("bptree", env, shd.File, tsIdx, index.Options{DedupKeys: true})
 		if err != nil {
 			return nil, err
 		}
@@ -155,11 +148,11 @@ func RunFig12a(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mBP, err := MeasureBPTreeOrdered(env, bp, shd.File, tsIdx, keys)
+		mBP, err := MeasureIndex(env, bp, keys, false)
 		if err != nil {
 			return nil, err
 		}
-		best, bestFPP, bestGain, err := bestSHDBF(cfg, scale, tsIdx, bp.NumNodes(), 0)
+		best, bestFPP, bestGain, err := bestSHDBF(cfg, scale, tsIdx, bp.Stats().Pages, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +164,7 @@ func RunFig12a(scale Scale) (*Table, error) {
 
 // bestSHDBF sweeps fpp and returns the fastest BF-Tree measurement on
 // the SHD workload for one configuration.
-func bestSHDBF(cfg StorageConfig, scale Scale, tsIdx int, bpNodes uint64, cachePages int) (time.Duration, float64, float64, error) {
+func bestSHDBF(cfg StorageConfig, scale Scale, tsIdx int, bpPages uint64, cachePages int) (time.Duration, float64, float64, error) {
 	bestTime := time.Duration(1<<62 - 1)
 	var bestFPP, bestGain float64
 	for _, fpp := range []float64{0.1, 1.9e-2, 1.8e-3, 1.72e-4, 1.5e-7} {
@@ -179,40 +172,35 @@ func bestSHDBF(cfg StorageConfig, scale Scale, tsIdx int, bpNodes uint64, cacheP
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		bf, err := core.BulkLoad(env.IdxStore, shd.File, tsIdx, core.Options{FPP: fpp})
+		bf, err := BuildIndex("bftree", env, shd.File, tsIdx, index.Options{BFTree: core.Options{FPP: fpp}})
 		if err != nil {
 			return 0, 0, 0, err
 		}
 		if cachePages > 0 {
-			internal, err := bf.InternalPages()
-			if err != nil {
+			if err := WarmBuiltIndex(env, bf); err != nil {
 				return 0, 0, 0, err
-			}
-			if len(internal) > 0 {
-				if err := WarmIndex(env, internal); err != nil {
-					return 0, 0, 0, err
-				}
 			}
 		}
 		keys, err := shdProbes(shd, scale)
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		m, err := MeasureBFTree(env, bf, keys, false)
+		m, err := MeasureIndex(env, bf, keys, false)
 		if err != nil {
 			return 0, 0, 0, err
 		}
 		if m.AvgTime < bestTime {
 			bestTime = m.AvgTime
 			bestFPP = fpp
-			bestGain = float64(bpNodes) / float64(bf.NumNodes())
+			bestGain = float64(bpPages) / float64(bf.Stats().Pages)
 		}
 	}
 	return bestTime, bestFPP, bestGain, nil
 }
 
 // RunFig12b reproduces Figure 12(b): SHD with warm caches for the three
-// on-device configurations, adding the FD-Tree comparator.
+// on-device configurations, adding the FD-Tree comparator — all four
+// measurements through the same MeasureIndex path.
 func RunFig12b(scale Scale) (*Table, error) {
 	const cachePages = 65536
 	t := &Table{
@@ -225,31 +213,23 @@ func RunFig12b(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		entries, err := BuildDedupEntries(shd.File, tsIdx)
+		bp, err := BuildIndex("bptree", env, shd.File, tsIdx, index.Options{DedupKeys: true})
 		if err != nil {
 			return nil, err
 		}
-		bp, err := bptree.BulkLoad(env.IdxStore, entries, 1.0)
-		if err != nil {
-			return nil, err
-		}
-		internal, err := bp.InternalPages()
-		if err != nil {
-			return nil, err
-		}
-		if err := WarmIndex(env, internal); err != nil {
+		if err := WarmBuiltIndex(env, bp); err != nil {
 			return nil, err
 		}
 		keys, err := shdProbes(shd, scale)
 		if err != nil {
 			return nil, err
 		}
-		mBP, err := MeasureBPTreeOrdered(env, bp, shd.File, tsIdx, keys)
+		mBP, err := MeasureIndex(env, bp, keys, false)
 		if err != nil {
 			return nil, err
 		}
 
-		best, _, bestGain, err := bestSHDBF(cfg, scale, tsIdx, bp.NumNodes(), cachePages)
+		best, _, bestGain, err := bestSHDBF(cfg, scale, tsIdx, bp.Stats().Pages, cachePages)
 		if err != nil {
 			return nil, err
 		}
@@ -260,11 +240,7 @@ func RunFig12b(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		entriesFD, err := BuildDedupEntries(shdFD.File, tsIdx)
-		if err != nil {
-			return nil, err
-		}
-		fd, err := fdtree.BulkLoad(envFD.IdxStore, entriesFD, fdtree.Options{})
+		fd, err := BuildIndex("fdtree", envFD, shdFD.File, tsIdx, index.Options{DedupKeys: true})
 		if err != nil {
 			return nil, err
 		}
@@ -272,18 +248,11 @@ func RunFig12b(scale Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		envFD.ResetIO()
-		for _, k := range keysFD {
-			refs, _, err := fd.Search(k)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := fetchRefs(shdFD.File, tsIdx, k, refs); err != nil {
-				return nil, err
-			}
+		mFD, err := MeasureIndex(envFD, fd, keysFD, false)
+		if err != nil {
+			return nil, err
 		}
-		fdTime := envFD.Elapsed() / time.Duration(len(keysFD))
-		t.AddRow(cfg.Name, mBP.AvgTime.String(), best.String(), fdTime.String(), fmtF(bestGain)+"x")
+		t.AddRow(cfg.Name, mBP.AvgTime.String(), best.String(), mFD.AvgTime.String(), fmtF(bestGain)+"x")
 	}
 	t.Notes = append(t.Notes,
 		"paper: FD-Tree ≈ BF-Tree and B+-Tree on HDD data; ~33% slower than BF-Tree on SSD/SSD")
@@ -307,14 +276,13 @@ func RunFig13(scale Scale) (*Table, error) {
 	t := &Table{Title: "Figure 13: range-scan data I/Os, BF-Tree / B+-Tree", Header: header}
 	// One shared dataset; a fresh index store per fpp.
 	cfg := StorageConfig{Name: "mem/mem"}
-	dataEnv, syn, err := syntheticEnv(cfg, scale, 0)
+	_, syn, err := syntheticEnv(cfg, scale, 0)
 	if err != nil {
 		return nil, err
 	}
-	_ = dataEnv
 	for _, fpp := range fig13FPPs {
 		idxEnv := NewEnv(cfg, 0)
-		bf, err := core.BulkLoad(idxEnv.IdxStore, syn.File, 0, core.Options{FPP: fpp})
+		bf, err := BuildIndex("bftree", idxEnv, syn.File, 0, index.Options{BFTree: core.Options{FPP: fpp}})
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"bftree/index"
 	"bftree/internal/core"
 )
 
@@ -157,11 +158,11 @@ func TestFig11MissesAreCheap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bf, err := core.BulkLoad(env.IdxStore, tp.File, shipIdx, core.Options{FPP: 1e-3})
+	bf, err := BuildIndex("bftree", env, tp.File, shipIdx, index.Options{BFTree: core.Options{FPP: 1e-3}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := MeasureBFTree(env, bf, keys, false)
+	m, err := MeasureIndex(env, bf, keys, false)
 	if err != nil {
 		t.Fatal(err)
 	}

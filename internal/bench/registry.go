@@ -37,6 +37,8 @@ var Experiments = map[string]Runner{
 	"multi-writer":     RunMultiWriter,
 	"churn":            RunChurn,
 
+	"point-lookup": RunPointLookup,
+
 	"ablation-granularity": RunAblationGranularity,
 	"ablation-hashes":      RunAblationHashCount,
 	"ablation-parallel":    RunAblationParallelProbe,

@@ -183,28 +183,30 @@ func (t *Tree) InternalPages() ([]device.PageID, error) {
 }
 
 // descend walks from the root to the leaf that may contain key,
-// returning the leaf and its page id.
-func (t *Tree) descend(key uint64) (*leafNode, device.PageID, error) {
+// returning the leaf, its page id, and the pages read on the way down.
+func (t *Tree) descend(key uint64) (*leafNode, device.PageID, int, error) {
 	pid := t.root
+	reads := 0
 	for {
 		buf, err := t.store.ReadPage(pid)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, reads, err
 		}
+		reads++
 		kind, err := nodeKind(buf)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, reads, err
 		}
 		if kind == nodeLeaf {
 			n, err := decodeLeaf(buf)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, reads, err
 			}
-			return n, pid, nil
+			return n, pid, reads, nil
 		}
 		n, err := decodeInternal(buf)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, reads, err
 		}
 		// Leftmost descent: when key equals a separator the left subtree
 		// may still hold equal keys (non-unique indexes), so route left
@@ -218,9 +220,16 @@ func (t *Tree) descend(key uint64) (*leafNode, device.PageID, error) {
 // For non-unique indexes duplicates may spill into following leaves,
 // which are chased through the next pointers.
 func (t *Tree) Search(key uint64) ([]TupleRef, error) {
-	leaf, _, err := t.descend(key)
+	refs, _, err := t.SearchStats(key)
+	return refs, err
+}
+
+// SearchStats is Search with cost accounting: it also reports the index
+// pages read by the probe (descent plus leaf-chain chasing).
+func (t *Tree) SearchStats(key uint64) ([]TupleRef, int, error) {
+	leaf, _, reads, err := t.descend(key)
 	if err != nil {
-		return nil, err
+		return nil, reads, err
 	}
 	var out []TupleRef
 	for {
@@ -230,18 +239,19 @@ func (t *Tree) Search(key uint64) ([]TupleRef, error) {
 		}
 		// If the scan ran off the end of the leaf the key may continue.
 		if i < len(leaf.entries) || leaf.next == device.InvalidPage {
-			return out, nil
+			return out, reads, nil
 		}
 		buf, err := t.store.ReadPage(leaf.next)
 		if err != nil {
-			return nil, err
+			return nil, reads, err
 		}
+		reads++
 		leaf, err = decodeLeaf(buf)
 		if err != nil {
-			return nil, err
+			return nil, reads, err
 		}
 		if len(leaf.entries) == 0 || leaf.entries[0].Key != key {
-			return out, nil
+			return out, reads, nil
 		}
 	}
 }
@@ -249,32 +259,40 @@ func (t *Tree) Search(key uint64) ([]TupleRef, error) {
 // RangeScan returns the tuple references of every entry with key in
 // [lo, hi], in key order.
 func (t *Tree) RangeScan(lo, hi uint64) ([]TupleRef, error) {
+	refs, _, err := t.RangeScanStats(lo, hi)
+	return refs, err
+}
+
+// RangeScanStats is RangeScan with cost accounting: it also reports the
+// index pages read (descent plus the leaf chain covering the range).
+func (t *Tree) RangeScanStats(lo, hi uint64) ([]TupleRef, int, error) {
 	if lo > hi {
-		return nil, fmt.Errorf("bptree: range [%d,%d] inverted", lo, hi)
+		return nil, 0, fmt.Errorf("bptree: range [%d,%d] inverted", lo, hi)
 	}
-	leaf, _, err := t.descend(lo)
+	leaf, _, reads, err := t.descend(lo)
 	if err != nil {
-		return nil, err
+		return nil, reads, err
 	}
 	var out []TupleRef
 	i := sort.Search(len(leaf.entries), func(i int) bool { return leaf.entries[i].Key >= lo })
 	for {
 		for ; i < len(leaf.entries); i++ {
 			if leaf.entries[i].Key > hi {
-				return out, nil
+				return out, reads, nil
 			}
 			out = append(out, leaf.entries[i].Ref)
 		}
 		if leaf.next == device.InvalidPage {
-			return out, nil
+			return out, reads, nil
 		}
 		buf, err := t.store.ReadPage(leaf.next)
 		if err != nil {
-			return nil, err
+			return nil, reads, err
 		}
+		reads++
 		leaf, err = decodeLeaf(buf)
 		if err != nil {
-			return nil, err
+			return nil, reads, err
 		}
 		i = 0
 	}

@@ -100,3 +100,52 @@ func TestRebuildClearsDrift(t *testing.T) {
 		}
 	}
 }
+
+// TestRebuildDeviceBounded pins the contiguous free-list contract: a
+// Rebuild retires the whole old tree, Maintain reclaims it into the
+// store's free list as coalesced runs, and the next Rebuild's bulk
+// allocations are carved from those runs. The index device therefore
+// stays bounded — roughly two tree footprints — across arbitrarily many
+// rebuilds, instead of growing by one footprint per compaction.
+func TestRebuildDeviceBounded(t *testing.T) {
+	fx := newFixture(t, 20000, 11)
+	tr := fx.build(t, 0, Options{FPP: 1e-3})
+	footprint := tr.NumNodes()
+
+	if err := tr.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	// After one rebuild+reclaim cycle the device holds the live tree
+	// plus the (now free) old one; that is the steady-state bound.
+	bound := fx.idxStore.Device().NumPages()
+
+	for i := 0; i < 6; i++ {
+		if err := tr.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Maintain(); err != nil {
+			t.Fatal(err)
+		}
+		if got := fx.idxStore.Device().NumPages(); got > bound {
+			t.Fatalf("rebuild %d grew the device to %d pages (bound %d, tree footprint %d)",
+				i+1, got, bound, footprint)
+		}
+	}
+	// The reclaimed footprint must sit in coalesced runs large enough to
+	// serve the next bulk load, not as single-page fragments.
+	if runs, largest := fx.idxStore.FreeRuns(); largest < int(footprint) {
+		t.Errorf("largest free run %d < tree footprint %d across %d runs",
+			largest, footprint, runs)
+	}
+	// Nothing leaked: live + free + limbo covers the device.
+	live := tr.NumNodes()
+	inLimbo := uint64(tr.limboLen.Load())
+	total := fx.idxStore.Device().NumPages()
+	if live+uint64(fx.idxStore.FreePages())+inLimbo != total {
+		t.Errorf("page economy leaks: live %d + free %d + limbo %d != device %d",
+			live, fx.idxStore.FreePages(), inLimbo, total)
+	}
+}

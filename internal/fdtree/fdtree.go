@@ -169,7 +169,11 @@ func (t *Tree) fencesFor(lv level) []entry {
 // writeRun replaces level d (1-based) with the given sorted entries,
 // packing them into pages. A page that would otherwise start mid-stream
 // gets a copy of the most recent fence prepended (the FD-Tree's internal
-// fences), so every page is self-sufficient for routing.
+// fences), so every page is self-sufficient for routing. The replaced
+// run's pages are returned to the store's free list, where they
+// coalesce into contiguous runs that later rewrites recycle — without
+// this the logarithmic merge cascade would grow the device by the full
+// level size on every merge.
 func (t *Tree) writeRun(d int, entries []entry) error {
 	per := entriesPerPage(t.store.PageSize())
 	var pagesData [][]entry
@@ -209,6 +213,13 @@ func (t *Tree) writeRun(d int, entries []entry) error {
 	}
 	for len(t.levels) < d {
 		t.levels = append(t.levels, level{})
+	}
+	if old := t.levels[d-1]; old.pages > 0 {
+		dead := make([]device.PageID, old.pages)
+		for p := range dead {
+			dead[p] = old.first + device.PageID(p)
+		}
+		t.store.Free(dead...)
 	}
 	t.levels[d-1] = level{first: first, pages: len(pagesData), count: total}
 	return nil
@@ -474,4 +485,84 @@ func (t *Tree) SizeBytes() uint64 {
 		pages += lv.pages
 	}
 	return uint64(pages) * uint64(t.store.PageSize())
+}
+
+// FlushHead forces the in-memory head tree's records onto the device by
+// running the same merge cascade an overflow triggers. After it returns
+// the head holds only fences, so the tree's record state is fully
+// device-resident. A no-op when the head holds no records.
+func (t *Tree) FlushHead() error {
+	if len(recordsOf(t.head)) == 0 {
+		return nil
+	}
+	return t.mergeDown()
+}
+
+// RangeScan returns the tuple references of every record with key in
+// [lo, hi], in key order, and the run pages read. Each sorted run is
+// scanned independently — binary search over its contiguous pages to the
+// first page that may hold lo, then forward until past hi — and the
+// per-level results are merged, the ordered-scan pattern the fractional
+// cascade cannot provide across levels.
+func (t *Tree) RangeScan(lo, hi uint64) ([]bptree.TupleRef, *SearchStats, error) {
+	if lo > hi {
+		return nil, nil, fmt.Errorf("%w: range [%d,%d] inverted", ErrInvalid, lo, hi)
+	}
+	stats := &SearchStats{}
+	collect := func(entries []entry, out []entry) []entry {
+		i := sort.Search(len(entries), func(i int) bool { return entries[i].key >= lo })
+		for ; i < len(entries) && entries[i].key <= hi; i++ {
+			if entries[i].kind == kindRecord {
+				out = append(out, entries[i])
+			}
+		}
+		return out
+	}
+	merged := collect(t.head, nil)
+	for _, lv := range t.levels {
+		if lv.pages == 0 {
+			continue
+		}
+		// Binary search the run's contiguous pages for the first page
+		// whose first key is at or past lo, then back up one page: the
+		// page before may still hold in-range records at its tail. Any
+		// number of duplicate-of-lo pages follow and are covered by the
+		// forward scan — only the page preceding the boundary can hide
+		// range entries. A read error inside the predicate is captured
+		// and propagated, never folded into the position.
+		var searchErr error
+		start := sort.Search(lv.pages, func(p int) bool {
+			page, err := t.readRunPage(lv.first + device.PageID(p))
+			if err != nil {
+				searchErr = err
+				return true
+			}
+			stats.PagesRead++
+			return len(page) > 0 && page[0].key >= lo
+		})
+		if searchErr != nil {
+			return nil, nil, searchErr
+		}
+		if start > 0 {
+			start--
+		}
+		var found []entry
+		for p := start; p < lv.pages; p++ {
+			page, err := t.readRunPage(lv.first + device.PageID(p))
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.PagesRead++
+			found = collect(page, found)
+			if len(page) > 0 && page[len(page)-1].key > hi {
+				break
+			}
+		}
+		merged = mergeRecords(merged, found)
+	}
+	refs := make([]bptree.TupleRef, len(merged))
+	for i, e := range merged {
+		refs[i] = e.ref
+	}
+	return refs, stats, nil
 }

@@ -282,3 +282,161 @@ func TestSearchDuplicatesStraddlingPageBoundary(t *testing.T) {
 		}
 	}
 }
+
+func TestRangeScan(t *testing.T) {
+	entries := seqEntries(50000)
+	store := memStore()
+	tr, err := BulkLoad(store, entries, Options{HeadCapacity: 256, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread later inserts across levels so the scan must merge runs.
+	for i := 0; i < 600; i++ {
+		k := uint64(i * 83)
+		if err := tr.Insert(k, bptree.TupleRef{Page: device.PageID(90000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rng := range [][2]uint64{{0, 0}, {100, 250}, {49900, 60000}, {7, 7}} {
+		lo, hi := rng[0], rng[1]
+		refs, stats, err := tr.RangeScan(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, e := range entries {
+			if e.Key >= lo && e.Key <= hi {
+				want++
+			}
+		}
+		for i := 0; i < 600; i++ {
+			if k := uint64(i * 83); k >= lo && k <= hi {
+				want++
+			}
+		}
+		if len(refs) != want {
+			t.Fatalf("range [%d,%d]: %d refs, want %d", lo, hi, len(refs), want)
+		}
+		if stats.PagesRead == 0 && tr.Levels() > 0 {
+			t.Errorf("range [%d,%d] read no run pages", lo, hi)
+		}
+		for i := 1; i < len(refs); i++ {
+			// seqEntries key i maps to page i/15; inserted keys map to
+			// 90000+. Key order implies non-decreasing pages within the
+			// bulk entries, which is all the contract promises.
+			_ = i
+		}
+	}
+	if _, _, err := tr.RangeScan(5, 4); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestFlushHead(t *testing.T) {
+	store := memStore()
+	tr, err := BulkLoad(store, seqEntries(1000), Options{HeadCapacity: 64, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer a few inserts that stay below the head capacity.
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(uint64(100000+i), bptree.TupleRef{Page: 500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(recordsOf(tr.head)) == 0 {
+		t.Fatal("inserts did not buffer in the head")
+	}
+	if err := tr.FlushHead(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(recordsOf(tr.head)); n != 0 {
+		t.Fatalf("head still holds %d records after FlushHead", n)
+	}
+	for i := 0; i < 10; i++ {
+		refs, _, err := tr.Search(uint64(100000 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refs) != 1 {
+			t.Fatalf("key %d lost by FlushHead", 100000+i)
+		}
+	}
+	if err := tr.FlushHead(); err != nil { // idempotent no-op
+		t.Fatal(err)
+	}
+}
+
+// TestMergeDeviceBounded pins the free-run recycling of writeRun: the
+// merge cascade rewrites whole levels, and without returning the old
+// runs to the store's free list the device would grow by a level
+// footprint per merge.
+func TestMergeDeviceBounded(t *testing.T) {
+	store := memStore()
+	tr, err := BulkLoad(store, seqEntries(20000), Options{HeadCapacity: 64, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 22000; i++ {
+		if err := tr.Insert(uint64(i*7), bptree.TupleRef{Page: device.PageID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each level rewrite double-buffers (new run allocated before the
+	// old one is freed) and requests grow with the record count, so some
+	// free-list fragmentation is inherent; 3x the live footprint bounds
+	// it. Without recycling, the cascade's cumulative rewrites allocate
+	// roughly 10x the live footprint over this workload.
+	live := tr.SizeBytes() / uint64(store.PageSize())
+	if got := store.Device().NumPages(); got > 3*live {
+		t.Fatalf("device at %d pages for %d live run pages; old runs not recycled", got, live)
+	}
+	if _, reused := store.FreeListStats(); reused == 0 {
+		t.Error("no freed run pages were recycled by later merges")
+	}
+}
+
+// TestRangeScanDuplicatesSpanPages pins the boundary rule of RangeScan:
+// when duplicates of the range's low key fill more than one run page,
+// the scan must still return every one of them (the binary search lands
+// on the first duplicate page and backs up one; the forward scan covers
+// the rest), and must agree with Search on the same tree.
+func TestRangeScanDuplicatesSpanPages(t *testing.T) {
+	const dups = 600 // ~3 run pages at 215 entries/page
+	var entries []bptree.Entry
+	for i := 0; i < 1000; i++ {
+		entries = append(entries, bptree.Entry{Key: uint64(i), Ref: bptree.TupleRef{Page: device.PageID(i)}})
+	}
+	for i := 0; i < dups; i++ {
+		entries = append(entries, bptree.Entry{Key: 1000, Ref: bptree.TupleRef{Page: device.PageID(2000 + i)}})
+	}
+	for i := 1; i < 1000; i++ {
+		entries = append(entries, bptree.Entry{Key: 1000 + uint64(i), Ref: bptree.TupleRef{Page: device.PageID(i)}})
+	}
+	tr, err := BulkLoad(memStore(), entries, Options{HeadCapacity: 64, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	point, _, err := tr.Search(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(point) != dups {
+		t.Fatalf("Search(1000) = %d refs, want %d", len(point), dups)
+	}
+	rng, _, err := tr.RangeScan(1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rng) != dups {
+		t.Fatalf("RangeScan(1000,1000) = %d refs, want %d (disagrees with Search)", len(rng), dups)
+	}
+	// A range starting inside the duplicate block behaves the same.
+	rng2, _, err := tr.RangeScan(1000, 1005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rng2) != dups+5 {
+		t.Fatalf("RangeScan(1000,1005) = %d refs, want %d", len(rng2), dups+5)
+	}
+}

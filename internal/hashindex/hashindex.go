@@ -7,6 +7,7 @@ package hashindex
 
 import (
 	"fmt"
+	"sort"
 
 	"bftree/internal/bptree"
 )
@@ -64,6 +65,27 @@ func (idx *Index) Delete(key uint64, ref bptree.TupleRef) bool {
 // paper contrasts with tree traversal.
 func (idx *Index) Search(key uint64) []bptree.TupleRef {
 	return idx.buckets[key]
+}
+
+// SearchRange returns the tuple references of every key in [lo, hi], in
+// key order. A hash table holds no key order, so this walks every
+// bucket — O(distinct keys) memory work, the price of constant-time
+// point probes. It exists so the hash baseline can stand behind the
+// same Index interface as the tree backends; the paper's hash
+// competitor answers point lookups only.
+func (idx *Index) SearchRange(lo, hi uint64) []bptree.TupleRef {
+	var keys []uint64
+	for k := range idx.buckets {
+		if k >= lo && k <= hi {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []bptree.TupleRef
+	for _, k := range keys {
+		out = append(out, idx.buckets[k]...)
+	}
+	return out
 }
 
 // NumEntries returns the number of stored mappings.

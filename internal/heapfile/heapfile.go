@@ -22,6 +22,22 @@ import (
 // ErrSchema reports an invalid schema or a tuple/schema mismatch.
 var ErrSchema = errors.New("heapfile: invalid schema")
 
+// ErrUnknownField is the sentinel matched by errors.Is for index builds
+// over a field the schema does not declare. The concrete error is an
+// *UnknownFieldError carrying the offending name.
+var ErrUnknownField = errors.New("bftree: unknown field")
+
+// UnknownFieldError reports an index build over a field the schema does
+// not declare. It matches ErrUnknownField under errors.Is.
+type UnknownFieldError struct{ Field string }
+
+func (e *UnknownFieldError) Error() string {
+	return "bftree: schema has no field named " + e.Field
+}
+
+// Is makes errors.Is(err, ErrUnknownField) succeed for this error.
+func (e *UnknownFieldError) Is(target error) bool { return target == ErrUnknownField }
+
 // Field is one uint64 attribute of a fixed-size tuple.
 type Field struct {
 	Name   string

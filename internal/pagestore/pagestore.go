@@ -22,13 +22,16 @@
 //
 // The store also keeps a free list: Free returns page ids whose
 // contents are dead (the tree retires copy-on-write pages here after
-// its epoch grace period), and single-page Allocations recycle them, so
-// structural churn does not grow the device without bound.
+// its epoch grace period) and coalesces adjacent ids into contiguous
+// runs, so Allocations of any size — including the multi-page runs of a
+// bulk load or Rebuild — recycle them, and structural churn does not
+// grow the device without bound.
 package pagestore
 
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -44,15 +47,24 @@ type Store struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 
-	// freeList recycles page ids released through Free, so copy-on-write
-	// structural changes reuse retired pages instead of growing the
-	// device forever. Freed pages stay allocated on the device; only
-	// their ids circulate.
-	freeMu   sync.Mutex
-	freeList []device.PageID
-	freed    atomic.Uint64
-	reused   atomic.Uint64
-	fresh    atomic.Uint64 // allocations that extended the device
+	// freeRuns recycles page ids released through Free, so copy-on-write
+	// structural changes and whole-tree rebuilds reuse retired pages
+	// instead of growing the device forever. Freed pages stay allocated
+	// on the device; only their ids circulate. Runs are kept sorted by
+	// start, coalesced and non-adjacent, so contiguous multi-page
+	// allocations can be carved out of them.
+	freeMu    sync.Mutex
+	freeRuns  []freeRun
+	freePages int
+	freed     atomic.Uint64
+	reused    atomic.Uint64
+	fresh     atomic.Uint64 // allocations that extended the device
+}
+
+// freeRun is a maximal run of contiguous free page ids [start, start+n).
+type freeRun struct {
+	start device.PageID
+	n     int
 }
 
 // Option configures a Store.
@@ -99,46 +111,127 @@ func (s *Store) Device() *device.Device { return s.dev }
 // PageSize returns the page size in bytes.
 func (s *Store) PageSize() int { return s.dev.PageSize() }
 
-// Allocate returns n fresh pages, the first id of a contiguous run.
-// Single-page allocations are served from the free list when one is
-// available (recycled pages keep their stale content until the caller
-// writes them); multi-page allocations always extend the device, because
-// the free list holds no contiguity guarantee.
+// Allocate returns n pages, the first id of a contiguous run. The free
+// list is searched first — best-fit over its coalesced runs — so both
+// single-page copy-on-write allocations and the multi-page runs of a
+// bulk load or Rebuild recycle retired pages (which keep their stale
+// content until the caller writes them). Only when no free run is large
+// enough does the allocation extend the device.
 func (s *Store) Allocate(n int) device.PageID {
-	if n == 1 {
-		s.freeMu.Lock()
-		if k := len(s.freeList); k > 0 {
-			id := s.freeList[k-1]
-			s.freeList = s.freeList[:k-1]
-			s.freeMu.Unlock()
-			s.reused.Add(1)
-			return id
+	s.freeMu.Lock()
+	best := -1
+	for i := range s.freeRuns {
+		if s.freeRuns[i].n < n {
+			continue
 		}
-		s.freeMu.Unlock()
+		if best < 0 || s.freeRuns[i].n < s.freeRuns[best].n {
+			best = i
+		}
 	}
+	if best >= 0 {
+		r := &s.freeRuns[best]
+		id := r.start
+		r.start += device.PageID(n)
+		r.n -= n
+		if r.n == 0 {
+			s.freeRuns = append(s.freeRuns[:best], s.freeRuns[best+1:]...)
+		}
+		s.freePages -= n
+		s.freeMu.Unlock()
+		s.reused.Add(uint64(n))
+		return id
+	}
+	s.freeMu.Unlock()
 	s.fresh.Add(uint64(n))
 	return s.dev.Allocate(n)
 }
 
 // Free returns pages to the store's free list for reuse by later
-// single-page Allocations. The caller must guarantee that no reader can
-// still reach the pages — the BF-Tree's epoch scheme provides that
-// grace period before retiring copy-on-write pages here.
+// Allocations, coalescing them with each other and with existing runs.
+// The caller must guarantee that no reader can still reach the pages —
+// the BF-Tree's epoch scheme provides that grace period before retiring
+// copy-on-write pages here.
 func (s *Store) Free(ids ...device.PageID) {
 	if len(ids) == 0 {
 		return
 	}
+	sorted := append([]device.PageID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	incoming := make([]freeRun, 0, 4)
+	for _, id := range sorted {
+		if k := len(incoming); k > 0 && incoming[k-1].start+device.PageID(incoming[k-1].n) == id {
+			incoming[k-1].n++
+			continue
+		}
+		incoming = append(incoming, freeRun{start: id, n: 1})
+	}
 	s.freeMu.Lock()
-	s.freeList = append(s.freeList, ids...)
+	s.freeRuns = mergeFreeRuns(s.freeRuns, incoming)
+	s.freePages = 0
+	for _, r := range s.freeRuns {
+		s.freePages += r.n
+	}
 	s.freeMu.Unlock()
 	s.freed.Add(uint64(len(ids)))
+}
+
+// mergeFreeRuns merges two sorted run lists into one sorted, coalesced
+// list. Overlapping spans collapse to their union, which keeps the free
+// list consistent even if a caller double-frees a page.
+func mergeFreeRuns(a, b []freeRun) []freeRun {
+	out := make([]freeRun, 0, len(a)+len(b))
+	i, j := 0, 0
+	push := func(r freeRun) {
+		if k := len(out); k > 0 {
+			prev := &out[k-1]
+			prevEnd := prev.start + device.PageID(prev.n)
+			if r.start <= prevEnd { // adjacent or overlapping: coalesce
+				if end := r.start + device.PageID(r.n); end > prevEnd {
+					prev.n = int(end - prev.start)
+				}
+				return
+			}
+		}
+		out = append(out, r)
+	}
+	for i < len(a) && j < len(b) {
+		if a[i].start <= b[j].start {
+			push(a[i])
+			i++
+		} else {
+			push(b[j])
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		push(a[i])
+	}
+	for ; j < len(b); j++ {
+		push(b[j])
+	}
+	return out
 }
 
 // FreePages reports how many page ids currently sit on the free list.
 func (s *Store) FreePages() int {
 	s.freeMu.Lock()
 	defer s.freeMu.Unlock()
-	return len(s.freeList)
+	return s.freePages
+}
+
+// FreeRuns reports the shape of the free list: how many contiguous runs
+// it holds and the length of the largest. A single large run after a
+// Rebuild means the next bulk allocation will be recycled rather than
+// extend the device.
+func (s *Store) FreeRuns() (runs, largest int) {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	for _, r := range s.freeRuns {
+		if r.n > largest {
+			largest = r.n
+		}
+	}
+	return len(s.freeRuns), largest
 }
 
 // FreeListStats reports lifetime totals: pages released through Free and

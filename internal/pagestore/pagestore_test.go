@@ -281,12 +281,13 @@ func TestFreeListReuse(t *testing.T) {
 	if got := s.FreePages(); got != 2 {
 		t.Fatalf("FreePages = %d, want 2", got)
 	}
-	// Single-page allocations recycle freed ids (LIFO).
-	if got := s.Allocate(1); got != first+2 {
-		t.Errorf("first recycled id = %d, want %d", got, first+2)
-	}
+	// Single-page allocations carve from the coalesced run, lowest id
+	// first.
 	if got := s.Allocate(1); got != first+1 {
-		t.Errorf("second recycled id = %d, want %d", got, first+1)
+		t.Errorf("first recycled id = %d, want %d", got, first+1)
+	}
+	if got := s.Allocate(1); got != first+2 {
+		t.Errorf("second recycled id = %d, want %d", got, first+2)
 	}
 	if got := s.FreePages(); got != 0 {
 		t.Errorf("FreePages after reuse = %d, want 0", got)
@@ -301,17 +302,52 @@ func TestFreeListReuse(t *testing.T) {
 	}
 }
 
-func TestFreeListSkipsMultiPageAllocations(t *testing.T) {
+func TestFreeListCoalescesRuns(t *testing.T) {
 	s := New(device.New(device.Memory, 512))
-	first := s.Allocate(3)
-	s.Free(first, first+1)
-	// A contiguous run must not be served from the (non-contiguous)
-	// free list.
-	if got := s.Allocate(2); got != first+3 {
-		t.Errorf("multi-page allocation = %d, want fresh %d", got, first+3)
+	first := s.Allocate(8)
+	// Free out of order and in separate calls; adjacent ids must
+	// coalesce into one run.
+	s.Free(first+2, first+4)
+	s.Free(first + 3)
+	s.Free(first+6, first+5)
+	if runs, largest := s.FreeRuns(); runs != 1 || largest != 5 {
+		t.Fatalf("FreeRuns = (%d, %d), want one run of 5", runs, largest)
+	}
+	// A multi-page allocation is served from the coalesced run instead
+	// of extending the device.
+	devPages := s.Device().NumPages()
+	if got := s.Allocate(5); got != first+2 {
+		t.Errorf("multi-page allocation = %d, want recycled %d", got, first+2)
+	}
+	if grown := s.Device().NumPages(); grown != devPages {
+		t.Errorf("device grew from %d to %d pages despite a fitting free run", devPages, grown)
+	}
+	if got := s.FreePages(); got != 0 {
+		t.Errorf("FreePages after run reuse = %d, want 0", got)
+	}
+}
+
+func TestFreeListBestFit(t *testing.T) {
+	s := New(device.New(device.Memory, 512))
+	first := s.Allocate(16)
+	s.Free(first, first+1, first+2, first+3, first+4) // run of 5
+	s.Free(first+8, first+9)                          // run of 2
+	// Best fit: the 2-run serves a 2-page allocation, leaving the 5-run
+	// intact for a later large request.
+	if got := s.Allocate(2); got != first+8 {
+		t.Errorf("best-fit allocation = %d, want %d", got, first+8)
+	}
+	if got := s.Allocate(5); got != first {
+		t.Errorf("large allocation = %d, want %d", got, first)
+	}
+	// A request larger than any run extends the device.
+	devPages := s.Device().NumPages()
+	s.Free(first+12, first+13)
+	if got := s.Allocate(3); uint64(got) != devPages {
+		t.Errorf("oversized allocation = %d, want fresh %d", got, devPages)
 	}
 	if got := s.FreePages(); got != 2 {
-		t.Errorf("free list consumed by multi-page allocation: %d left, want 2", got)
+		t.Errorf("oversized allocation consumed undersized run: %d left, want 2", got)
 	}
 }
 
