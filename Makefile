@@ -7,7 +7,7 @@ GO ?= go
 # under the race detector.
 RACE_PKGS := ./internal/core/... ./internal/pagestore/... ./internal/device/...
 
-.PHONY: help build test race bench conformance fmt fmt-fix vet ci clean
+.PHONY: help build test race bench bench-json conformance fmt fmt-fix vet ci clean
 
 help:
 	@echo "BF-Tree — available targets:"
@@ -17,6 +17,7 @@ help:
 	@echo "  make race     - race-detector tests on core/pagestore/device"
 	@echo "  make conformance - cross-backend index API conformance suite"
 	@echo "  make bench    - run every benchmark once (smoke) "
+	@echo "  make bench-json - regenerate BENCH_scan.json / BENCH_batch.json"
 	@echo "  make fmt      - fail if any file needs gofmt"
 	@echo "  make fmt-fix  - gofmt -w the tree"
 	@echo "  make vet      - go vet ./..."
@@ -38,6 +39,12 @@ conformance:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Regenerates the committed streaming/batching result artifacts at the
+# scale CI smokes them.
+bench-json:
+	$(GO) run ./cmd/bfbench -exp scan-stream -tuples 30000 -probes 128 -json .
+	$(GO) run ./cmd/bfbench -exp batched-probe -tuples 30000 -probes 256 -json .
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

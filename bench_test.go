@@ -89,6 +89,14 @@ func BenchmarkMultiWriter(b *testing.B) { runExperiment(b, "multi-writer") }
 
 func BenchmarkChurn(b *testing.B) { runExperiment(b, "churn") }
 
+// Streaming scans and batched probes: the pull-based Scanner cursor at
+// LIMIT 1/10/100 vs the materialized RangeScan, and MultiSearch across
+// batch sizes (see internal/bench/scanstream.go and batchedprobe.go;
+// DESIGN.md section 6).
+
+func BenchmarkScanStream(b *testing.B)   { runExperiment(b, "scan-stream") }
+func BenchmarkBatchedProbe(b *testing.B) { runExperiment(b, "batched-probe") }
+
 // Ablations (DESIGN.md section 4).
 
 func BenchmarkAblationBFGranularity(b *testing.B) { runExperiment(b, "ablation-granularity") }

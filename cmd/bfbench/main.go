@@ -43,6 +43,7 @@ func main() {
 		probes  = flag.Int("probes", 0, "override probes per measurement")
 		seed    = flag.Int64("seed", 0, "override workload seed")
 		backend = flag.String("index", "", "index backend for point-lookup experiments (registry name, or 'each')")
+		jsonDir = flag.String("json", "", "directory for the streaming/batching experiments' JSON records (BENCH_scan.json, BENCH_batch.json)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.JSONDir = *jsonDir
 	if *backend != "" {
 		if *backend == "each" {
 			// Only the registry-walking experiment accepts "each"; the

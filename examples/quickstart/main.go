@@ -97,8 +97,41 @@ func main() {
 		fmt.Printf("  range [700,1400] → %d tuples from %d data pages\n",
 			len(scan.Tuples), scan.Stats.DataPagesRead)
 
+		// LIMIT-k, the streaming way: a cursor over a much larger range
+		// stops after 5 tuples and pays only for the pages behind them —
+		// compare its data-page count to the materialized scan above.
+		it, err := index.Scan(ix, 700, 70000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := 0
+		for got < 5 && it.Next() {
+			got++
+		}
+		limitStats := it.Stats()
+		if err := it.Close(); err != nil { // releases the cursor's resources
+			log.Fatal(err)
+		}
+		fmt.Printf("  limit 5 of [700,70000] → %d tuples from %d data pages (streamed)\n",
+			got, limitStats.DataPagesRead)
+
+		// Batched probes: one MultiSearch call answers many keys while
+		// sharing index descents — fewer index reads than key-at-a-time.
+		batch, err := index.MultiSearch(ix, []uint64{0, 7 * 1234, 7 * 5000, 7 * 99999})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  batch of 4 keys → %d tuples; %d index reads for the whole batch\n",
+			len(batch.Tuples), batch.Stats.IndexReads)
+
 		// Capability discovery: ask the index what else it can do.
 		caps := ""
+		if _, ok := ix.(index.Scanner); ok {
+			caps += " scan"
+		}
+		if _, ok := ix.(index.MultiSearcher); ok {
+			caps += " multisearch"
+		}
 		if _, ok := ix.(index.Inserter); ok {
 			caps += " insert"
 		}

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"sort"
+
 	"bftree/internal/core"
 )
 
@@ -45,8 +47,9 @@ func newBFIndex(tr *core.Tree, opts Options) Index {
 }
 
 // bfIndex adapts core.Tree — the BF-Tree already speaks the Result
-// shape, so every method is a delegation. It implements Inserter,
-// Deleter, Persister, Maintainer and Warmable.
+// shape, so every method is a delegation; the core scan cursor
+// satisfies Iterator directly. It implements Scanner, MultiSearcher,
+// Inserter, Deleter, Persister, Maintainer and Warmable.
 type bfIndex struct {
 	tree *core.Tree
 }
@@ -54,8 +57,28 @@ type bfIndex struct {
 func (ix *bfIndex) Search(key uint64) (*Result, error)      { return ix.tree.Search(key) }
 func (ix *bfIndex) SearchFirst(key uint64) (*Result, error) { return ix.tree.SearchFirst(key) }
 func (ix *bfIndex) RangeScan(lo, hi uint64) (*Result, error) {
-	return ix.tree.RangeScan(lo, hi)
+	return scanRange(ix, lo, hi)
 }
+
+// Scan streams the leaf-chain walk under the tree's epoch scheme: the
+// cursor holds a reader registration until closed or drained, so pages
+// it may traverse stay out of limbo reclamation (DESIGN.md §6). The
+// cursor runs with the Section 7 boundary optimization: leaves only
+// partially covered by [lo, hi] probe their Bloom filters and read just
+// the flagged pages, instead of their whole page span.
+func (ix *bfIndex) Scan(lo, hi uint64) (Iterator, error) {
+	if lo > hi {
+		return nil, ErrInvalidRange
+	}
+	return ix.tree.ScanOptimized(lo, hi)
+}
+
+// MultiSearch shares descents, filter probes and page reads across the
+// batch via the core tree's batched probe.
+func (ix *bfIndex) MultiSearch(keys []uint64) (*Result, error) {
+	return ix.tree.MultiSearch(keys)
+}
+
 func (ix *bfIndex) Close() error { return ix.tree.Close() }
 
 func (ix *bfIndex) Stats() Stats {
@@ -115,7 +138,41 @@ func (ix *bufferedBFIndex) SearchFirst(key uint64) (*Result, error) {
 }
 
 func (ix *bufferedBFIndex) RangeScan(lo, hi uint64) (*Result, error) {
-	return ix.tree.RangeScan(lo, hi)
+	return scanRange(ix, lo, hi)
+}
+
+// Scan streams flushed state only, like RangeScan — call Flush first
+// when the scan must observe buffered inserts. Boundary-optimized, like
+// the unbuffered backend's Scan.
+func (ix *bufferedBFIndex) Scan(lo, hi uint64) (Iterator, error) {
+	if lo > hi {
+		return nil, ErrInvalidRange
+	}
+	return ix.tree.ScanOptimized(lo, hi)
+}
+
+// MultiSearch answers the batch through per-key buffered searches:
+// every answer merges buffered entries with the tree's, matching
+// Search, so the buffer forecloses cross-key page sharing (keys are
+// still sorted and deduped). Flush first to regain the shared path.
+func (ix *bufferedBFIndex) MultiSearch(keys []uint64) (*Result, error) {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res := &Result{}
+	var prev uint64
+	for i, k := range sorted {
+		if i > 0 && k == prev {
+			continue
+		}
+		prev = k
+		r, err := ix.buf.Search(k)
+		if err != nil {
+			return nil, err
+		}
+		res.Tuples = append(res.Tuples, r.Tuples...)
+		addStats(&res.Stats, r.Stats)
+	}
+	return res, nil
 }
 
 func (ix *bufferedBFIndex) Stats() Stats { return (&bfIndex{tree: ix.tree}).Stats() }

@@ -40,7 +40,7 @@ func layoutEntries(file *heapfile.File, fieldIdx int, dedup bool) ([]bptree.Entr
 // references, then fetch the referenced data pages into the shared
 // Result shape. In dedup mode the probe locates the first occurrence
 // and the fetch scans forward through the duplicates (Section 6.3). It
-// implements Inserter and Warmable.
+// implements Scanner, MultiSearcher, Inserter and Warmable.
 type bpIndex struct {
 	tree     *bptree.Tree
 	file     *heapfile.File
@@ -72,23 +72,50 @@ func (ix *bpIndex) search(key uint64, firstOnly bool) (*Result, error) {
 }
 
 func (ix *bpIndex) RangeScan(lo, hi uint64) (*Result, error) {
-	refs, idxReads, err := ix.tree.RangeScanStats(lo, hi)
+	return scanRange(ix, lo, hi)
+}
+
+// Scan streams the leaf-sibling walk: in dedup mode the cursor only
+// locates the range's first occurrence and an ordered page scan takes
+// over; otherwise the reference stream is resolved page by page as the
+// consumer pulls, so leaf-chain links past an early Close are never
+// read.
+func (ix *bpIndex) Scan(lo, hi uint64) (Iterator, error) {
+	if lo > hi {
+		return nil, ErrInvalidRange
+	}
+	c, err := ix.tree.Scan(lo, hi)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Stats: ProbeStats{IndexReads: idxReads}}
-	if len(refs) == 0 {
-		return res, nil
+	if !ix.dedup {
+		return newRefIter(newFetcher(ix.file, ix.fieldIdx), &bpRefs{c: c}, inRange(lo, hi)), nil
 	}
-	if ix.dedup {
-		err = fetchRangeOrdered(ix.file, ix.fieldIdx, lo, hi, refs[0].Page, res)
-	} else {
-		err = fetchRangeRefs(ix.file, ix.fieldIdx, lo, hi, refs, res)
+	if !c.Next() {
+		reads := c.Reads()
+		errScan := c.Err()
+		c.Close()
+		if errScan != nil {
+			return nil, errScan
+		}
+		return &emptyIter{stats: ProbeStats{IndexReads: reads}}, nil
 	}
+	start := c.Entry().Ref.Page
+	reads := c.Reads()
+	c.Close()
+	return newOrderedIter(newFetcher(ix.file, ix.fieldIdx), start,
+		inRange(lo, hi), beyondHi(hi), ProbeStats{IndexReads: reads}), nil
+}
+
+// MultiSearch shares root-to-leaf descents across the sorted batch and
+// reads each flagged data page once.
+func (ix *bpIndex) MultiSearch(keys []uint64) (*Result, error) {
+	groups, idxReads, err := ix.tree.MultiSearch(keys)
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return multiSearchGroups(ix.file, ix.fieldIdx, groups, ix.dedup,
+		ProbeStats{IndexReads: idxReads})
 }
 
 func (ix *bpIndex) Stats() Stats {

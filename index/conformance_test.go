@@ -317,10 +317,10 @@ func TestConformanceDedupLayout(t *testing.T) {
 func TestCapabilityMatrix(t *testing.T) {
 	file, _ := goldenRelation(t, 300)
 	matrix := map[string]map[string]bool{
-		"bftree": {"Inserter": true, "Deleter": true, "Flusher": false, "Persister": true, "Maintainer": true, "Warmable": true},
-		"bptree": {"Inserter": true, "Deleter": false, "Flusher": false, "Persister": false, "Maintainer": false, "Warmable": true},
-		"fdtree": {"Inserter": true, "Deleter": false, "Flusher": true, "Persister": false, "Maintainer": false, "Warmable": false},
-		"hash":   {"Inserter": true, "Deleter": true, "Flusher": false, "Persister": false, "Maintainer": false, "Warmable": false},
+		"bftree": {"Inserter": true, "Deleter": true, "Flusher": false, "Persister": true, "Maintainer": true, "Warmable": true, "Scanner": true, "MultiSearcher": true},
+		"bptree": {"Inserter": true, "Deleter": false, "Flusher": false, "Persister": false, "Maintainer": false, "Warmable": true, "Scanner": true, "MultiSearcher": true},
+		"fdtree": {"Inserter": true, "Deleter": false, "Flusher": true, "Persister": false, "Maintainer": false, "Warmable": false, "Scanner": true, "MultiSearcher": true},
+		"hash":   {"Inserter": true, "Deleter": true, "Flusher": false, "Persister": false, "Maintainer": false, "Warmable": false, "Scanner": true, "MultiSearcher": true},
 	}
 	for _, name := range index.Backends() {
 		want, known := matrix[name]
@@ -340,6 +340,8 @@ func TestCapabilityMatrix(t *testing.T) {
 		_, got["Persister"] = ix.(index.Persister)
 		_, got["Maintainer"] = ix.(index.Maintainer)
 		_, got["Warmable"] = ix.(index.Warmable)
+		_, got["Scanner"] = ix.(index.Scanner)
+		_, got["MultiSearcher"] = ix.(index.MultiSearcher)
 		for capability, w := range want {
 			if got[capability] != w {
 				t.Errorf("%s: %s = %v, want %v", name, capability, got[capability], w)
@@ -360,6 +362,12 @@ func TestCapabilityMatrix(t *testing.T) {
 	}
 	if _, ok := ix.(index.Persister); ok {
 		t.Error("buffered bftree mode must not implement Persister (buffered inserts would be lost)")
+	}
+	if _, ok := ix.(index.Scanner); !ok {
+		t.Error("buffered bftree mode does not implement Scanner")
+	}
+	if _, ok := ix.(index.MultiSearcher); !ok {
+		t.Error("buffered bftree mode does not implement MultiSearcher")
 	}
 	// Delete accounts for the buffer: a just-buffered association is
 	// deletable without an explicit Flush.

@@ -25,7 +25,8 @@ func init() {
 // fdIndex adapts the FD-Tree comparator: the fractional-cascade search
 // (one run page per on-device level) yields tuple references, which the
 // shared fetch path resolves into the Result shape. It implements
-// Inserter and Flusher (the memory-resident head tree).
+// Scanner, MultiSearcher, Inserter and Flusher (the memory-resident
+// head tree).
 type fdIndex struct {
 	tree     *fdtree.Tree
 	store    *Store
@@ -58,23 +59,48 @@ func (ix *fdIndex) search(key uint64, firstOnly bool) (*Result, error) {
 }
 
 func (ix *fdIndex) RangeScan(lo, hi uint64) (*Result, error) {
-	refs, sstats, err := ix.tree.RangeScan(lo, hi)
+	return scanRange(ix, lo, hi)
+}
+
+// Scan streams the k-way merge over the head tree and per-level run
+// cursors; opening pays each run's binary-search positioning, after
+// which run and data pages are read only as the consumer pulls.
+func (ix *fdIndex) Scan(lo, hi uint64) (Iterator, error) {
+	if lo > hi {
+		return nil, ErrInvalidRange
+	}
+	c, err := ix.tree.Scan(lo, hi)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Stats: ProbeStats{IndexReads: sstats.PagesRead}}
-	if len(refs) == 0 {
-		return res, nil
+	if !ix.dedup {
+		return newRefIter(newFetcher(ix.file, ix.fieldIdx), &fdRefs{c: c}, inRange(lo, hi)), nil
 	}
-	if ix.dedup {
-		err = fetchRangeOrdered(ix.file, ix.fieldIdx, lo, hi, refs[0].Page, res)
-	} else {
-		err = fetchRangeRefs(ix.file, ix.fieldIdx, lo, hi, refs, res)
+	if !c.Next() {
+		reads := c.Stats().PagesRead
+		errScan := c.Err()
+		c.Close()
+		if errScan != nil {
+			return nil, errScan
+		}
+		return &emptyIter{stats: ProbeStats{IndexReads: reads}}, nil
 	}
+	start := c.Ref().Page
+	reads := c.Stats().PagesRead
+	c.Close()
+	return newOrderedIter(newFetcher(ix.file, ix.fieldIdx), start,
+		inRange(lo, hi), beyondHi(hi), ProbeStats{IndexReads: reads}), nil
+}
+
+// MultiSearch shares run-page reads across the sorted batch through the
+// fractional cascade and reads each flagged data page once.
+func (ix *fdIndex) MultiSearch(keys []uint64) (*Result, error) {
+	groups, sstats, err := ix.tree.MultiSearch(keys)
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return multiSearchGroups(ix.file, ix.fieldIdx, groups, ix.dedup,
+		ProbeStats{IndexReads: sstats.PagesRead})
 }
 
 func (ix *fdIndex) Stats() Stats {

@@ -51,15 +51,26 @@ func (ix *hashIndex) search(key uint64, firstOnly bool) (*Result, error) {
 // a capability the paper's hash competitor lacks; see its doc comment
 // for the cost model.
 func (ix *hashIndex) RangeScan(lo, hi uint64) (*Result, error) {
-	res := &Result{}
+	return scanRange(ix, lo, hi)
+}
+
+// Scan streams the bucket-walk answer: the reference list is built up
+// front (a memory operation costing no index I/O), then data pages are
+// read only as the consumer pulls.
+func (ix *hashIndex) Scan(lo, hi uint64) (Iterator, error) {
+	if lo > hi {
+		return nil, ErrInvalidRange
+	}
 	refs := ix.idx.SearchRange(lo, hi)
-	if len(refs) == 0 {
-		return res, nil
-	}
-	if err := fetchRangeRefs(ix.file, ix.fieldIdx, lo, hi, refs, res); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return newRefIter(newFetcher(ix.file, ix.fieldIdx), &sliceRefs{refs: refs}, inRange(lo, hi)), nil
+}
+
+// MultiSearch groups the batch by bucket: keys are sorted and deduped,
+// each bucket probed once (no index I/O to share), and each referenced
+// data page read once for the whole batch.
+func (ix *hashIndex) MultiSearch(keys []uint64) (*Result, error) {
+	groups := ix.idx.MultiSearch(keys)
+	return multiSearchGroups(ix.file, ix.fieldIdx, groups, false, ProbeStats{})
 }
 
 func (ix *hashIndex) Stats() Stats {

@@ -16,10 +16,10 @@
 //	if ins, ok := ix.(index.Inserter); ok { ... }  // capability discovery
 //
 // The mandatory interface is intentionally small: point and range
-// lookups, stats, close. Everything else — inserts, deletes, flushing,
-// persistence, maintenance, cache warming — is an optional capability
-// interface discovered by type assertion; the per-backend matrix lives
-// in DESIGN.md §5.
+// lookups, stats, close. Everything else — streaming scans, batched
+// probes, inserts, deletes, flushing, persistence, maintenance, cache
+// warming — is an optional capability interface discovered by type
+// assertion; the per-backend matrix lives in DESIGN.md §5.
 package index
 
 import (
@@ -68,6 +68,19 @@ var ErrUnsupported = errors.New("index: unsupported operation")
 // concurrent probes when their underlying structure is (the BF-Tree
 // backend is; the baselines are read-safe after build as long as no
 // writer runs).
+//
+// Capability discovery: anything beyond this interface is an optional
+// capability discovered by type assertion —
+//
+//	if s, ok := ix.(index.Scanner); ok { it, _ := s.Scan(lo, hi); ... }
+//
+// and the package-level helpers (Scan, MultiSearch) fold the assertion
+// and return ErrUnsupported when the backend lacks the capability —
+// the uniform answer for every missing capability, so callers can
+// errors.Is(err, index.ErrUnsupported) regardless of which one they
+// asked for. All four built-in backends implement Scanner and
+// MultiSearcher natively; the remaining capabilities vary (DESIGN.md
+// §5).
 type Index interface {
 	// Search returns every tuple whose indexed field equals key.
 	Search(key uint64) (*Result, error)

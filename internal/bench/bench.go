@@ -74,6 +74,11 @@ type Scale struct {
 	// BF-Tree. The point-lookup experiment also accepts "each", walking
 	// the whole registry.
 	Index string
+
+	// JSONDir, when non-empty, makes the streaming/batching experiments
+	// (scan-stream, batched-probe) also write their Record rows as JSON
+	// files (BENCH_scan.json, BENCH_batch.json) into this directory.
+	JSONDir string
 }
 
 // IndexBackend resolves the Index selection, defaulting to the BF-Tree.

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Record is one machine-readable result row of a streaming/batching
+// experiment, the schema behind BENCH_scan.json and BENCH_batch.json.
+// Latencies are virtual-I/O seconds per operation (scan-stream) or per
+// key (batched-probe); throughput is operations (or keys) per virtual
+// second.
+type Record struct {
+	Experiment string `json:"experiment"`
+	Backend    string `json:"backend"`
+	// Mode labels the scan-stream variant: "materialized", "stream", or
+	// "limit-k".
+	Mode    string `json:"mode,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	// Batch is the MultiSearch batch size (batched-probe) or the LIMIT k
+	// (scan-stream limit modes).
+	Batch      int     `json:"batch,omitempty"`
+	Throughput float64 `json:"throughput"`
+	P50        float64 `json:"p50"`
+	P99        float64 `json:"p99"`
+	// PagesPerOp is the total index+data pages a scan-stream operation
+	// read; IndexReadsPerKey the index pages a batched probe charged per
+	// key — the two headline economies of the experiments.
+	PagesPerOp       float64 `json:"pages_per_op,omitempty"`
+	IndexReadsPerKey float64 `json:"index_reads_per_key,omitempty"`
+}
+
+// WriteRecords writes records as an indented JSON array at dir/name.
+func WriteRecords(dir, name string, records []Record) error {
+	blob, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// maybeWriteRecords writes records when the scale asked for JSON output
+// (JSONDir non-empty) and is a no-op otherwise, so experiments emit
+// their files only under `bfbench -json` / `make bench-json`.
+func maybeWriteRecords(scale Scale, name string, records []Record) error {
+	if scale.JSONDir == "" {
+		return nil
+	}
+	return WriteRecords(scale.JSONDir, name, records)
+}

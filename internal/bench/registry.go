@@ -36,6 +36,8 @@ var Experiments = map[string]Runner{
 	"mixed-rw":         RunMixedRW,
 	"multi-writer":     RunMultiWriter,
 	"churn":            RunChurn,
+	"scan-stream":      RunScanStream,
+	"batched-probe":    RunBatchedProbe,
 
 	"point-lookup": RunPointLookup,
 

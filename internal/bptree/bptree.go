@@ -264,38 +264,22 @@ func (t *Tree) RangeScan(lo, hi uint64) ([]TupleRef, error) {
 }
 
 // RangeScanStats is RangeScan with cost accounting: it also reports the
-// index pages read (descent plus the leaf chain covering the range).
+// index pages read (descent plus the leaf chain covering the range). It
+// is exactly Scan drained to a slice.
 func (t *Tree) RangeScanStats(lo, hi uint64) ([]TupleRef, int, error) {
-	if lo > hi {
-		return nil, 0, fmt.Errorf("bptree: range [%d,%d] inverted", lo, hi)
-	}
-	leaf, _, reads, err := t.descend(lo)
+	c, err := t.Scan(lo, hi)
 	if err != nil {
-		return nil, reads, err
+		return nil, 0, err
 	}
 	var out []TupleRef
-	i := sort.Search(len(leaf.entries), func(i int) bool { return leaf.entries[i].Key >= lo })
-	for {
-		for ; i < len(leaf.entries); i++ {
-			if leaf.entries[i].Key > hi {
-				return out, reads, nil
-			}
-			out = append(out, leaf.entries[i].Ref)
-		}
-		if leaf.next == device.InvalidPage {
-			return out, reads, nil
-		}
-		buf, err := t.store.ReadPage(leaf.next)
-		if err != nil {
-			return nil, reads, err
-		}
-		reads++
-		leaf, err = decodeLeaf(buf)
-		if err != nil {
-			return nil, reads, err
-		}
-		i = 0
+	for c.Next() {
+		out = append(out, c.Entry().Ref)
 	}
+	reads := c.Reads()
+	if err := c.Err(); err != nil {
+		return nil, reads, err
+	}
+	return out, reads, nil
 }
 
 // Insert adds an entry, splitting nodes as needed. The implementation

@@ -1,0 +1,238 @@
+package bptree
+
+import (
+	"fmt"
+	"sort"
+
+	"bftree/internal/device"
+)
+
+// Cursor streams the entries of a range scan in key order, one at a
+// time: the leaf-sibling walk of RangeScanStats exposed pull-style, so
+// a LIMIT-k consumer reads only the leaves it actually advances into.
+// Leaves are fetched lazily on Next; Reads reports the index pages read
+// so far (descent plus consumed leaf-chain links). A Cursor holds no
+// locks or pins — the tree is read-only during scans — so Close only
+// drops buffers and is optional.
+type Cursor struct {
+	t      *Tree
+	hi     uint64
+	leaf   *leafNode
+	i      int // index of the current entry within leaf, -1 before first
+	reads  int
+	err    error
+	done   bool
+	primed bool // first positioned entry not yet returned
+}
+
+// Scan opens a cursor over every entry with key in [lo, hi]. The
+// materialized RangeScanStats drains exactly this cursor.
+func (t *Tree) Scan(lo, hi uint64) (*Cursor, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("bptree: range [%d,%d] inverted", lo, hi)
+	}
+	leaf, _, reads, err := t.descend(lo)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{t: t, hi: hi, leaf: leaf, reads: reads}
+	c.i = sort.Search(len(leaf.entries), func(i int) bool { return leaf.entries[i].Key >= lo }) - 1
+	return c, nil
+}
+
+// Next advances to the next in-range entry, reporting whether one
+// exists. It returns false at the end of the range or on error.
+func (c *Cursor) Next() bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	for {
+		if c.i+1 < len(c.leaf.entries) {
+			c.i++
+			if c.leaf.entries[c.i].Key > c.hi {
+				c.done = true
+				return false
+			}
+			return true
+		}
+		if c.leaf.next == device.InvalidPage {
+			c.done = true
+			return false
+		}
+		buf, err := c.t.store.ReadPage(c.leaf.next)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.reads++
+		leaf, err := decodeLeaf(buf)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.leaf = leaf
+		c.i = -1
+	}
+}
+
+// Entry returns the current entry.
+func (c *Cursor) Entry() Entry {
+	if c.leaf == nil || c.i < 0 || c.i >= len(c.leaf.entries) {
+		return Entry{}
+	}
+	return c.leaf.entries[c.i]
+}
+
+// Reads returns the index pages read so far.
+func (c *Cursor) Reads() int { return c.reads }
+
+// Err returns the first error the cursor hit, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the cursor's buffers. Idempotent; never fails.
+func (c *Cursor) Close() error {
+	c.done = true
+	c.leaf = nil
+	c.i = -1
+	return nil
+}
+
+// KeyRefs groups the tuple references of one batch key. The exact
+// backends return batched-probe answers in this shape so callers can
+// run per-key fetches (the deduplicated layout's ordered scans) without
+// re-deriving which ref answers which key.
+type KeyRefs struct {
+	Key  uint64
+	Refs []TupleRef
+}
+
+// MultiSearch answers a batch of point lookups in one pass: keys are
+// sorted and deduped, then probed in order through a per-batch cache of
+// decoded pages, so adjacent keys share their root-to-leaf path and a
+// leaf holding several batch keys is decoded once. Groups come back in
+// ascending key order, keys without matches omitted; reads counts
+// distinct index pages read for the whole batch — the shared-descent
+// savings the batched-probe experiment measures.
+func (t *Tree) MultiSearch(keys []uint64) ([]KeyRefs, int, error) {
+	if len(keys) == 0 {
+		return nil, 0, nil
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	c := &pageCache{t: t}
+	var out []KeyRefs
+	var prev uint64
+	for i, key := range sorted {
+		if i > 0 && key == prev {
+			continue
+		}
+		prev = key
+		refs, err := c.search(key)
+		if err != nil {
+			return nil, c.reads, err
+		}
+		if len(refs) > 0 {
+			out = append(out, KeyRefs{Key: key, Refs: refs})
+		}
+	}
+	return out, c.reads, nil
+}
+
+// pageCache memoizes decoded pages for one batch; reads is charged only
+// on a miss, so it counts distinct pages — what a buffer pool would
+// actually fetch.
+type pageCache struct {
+	t      *Tree
+	nodes  map[device.PageID]*internalNode
+	leaves map[device.PageID]*leafNode
+	reads  int
+}
+
+func (c *pageCache) search(key uint64) ([]TupleRef, error) {
+	leaf, err := c.descend(key)
+	if err != nil {
+		return nil, err
+	}
+	var out []TupleRef
+	for {
+		i := sort.Search(len(leaf.entries), func(i int) bool { return leaf.entries[i].Key >= key })
+		for ; i < len(leaf.entries) && leaf.entries[i].Key == key; i++ {
+			out = append(out, leaf.entries[i].Ref)
+		}
+		if i < len(leaf.entries) || leaf.next == device.InvalidPage {
+			return out, nil
+		}
+		next, err := c.leaf(leaf.next)
+		if err != nil {
+			return nil, err
+		}
+		if len(next.entries) == 0 || next.entries[0].Key != key {
+			return out, nil
+		}
+		leaf = next
+	}
+}
+
+func (c *pageCache) descend(key uint64) (*leafNode, error) {
+	pid := c.t.root
+	for {
+		if n, ok := c.nodes[pid]; ok {
+			i := sort.Search(len(n.keys), func(i int) bool { return key <= n.keys[i] })
+			pid = n.children[i]
+			continue
+		}
+		if l, ok := c.leaves[pid]; ok {
+			return l, nil
+		}
+		buf, err := c.t.store.ReadPage(pid)
+		if err != nil {
+			return nil, err
+		}
+		c.reads++
+		kind, err := nodeKind(buf)
+		if err != nil {
+			return nil, err
+		}
+		if kind == nodeLeaf {
+			l, err := decodeLeaf(buf)
+			if err != nil {
+				return nil, err
+			}
+			if c.leaves == nil {
+				c.leaves = make(map[device.PageID]*leafNode)
+			}
+			c.leaves[pid] = l
+			return l, nil
+		}
+		n, err := decodeInternal(buf)
+		if err != nil {
+			return nil, err
+		}
+		if c.nodes == nil {
+			c.nodes = make(map[device.PageID]*internalNode)
+		}
+		c.nodes[pid] = n
+		i := sort.Search(len(n.keys), func(i int) bool { return key <= n.keys[i] })
+		pid = n.children[i]
+	}
+}
+
+func (c *pageCache) leaf(pid device.PageID) (*leafNode, error) {
+	if l, ok := c.leaves[pid]; ok {
+		return l, nil
+	}
+	buf, err := c.t.store.ReadPage(pid)
+	if err != nil {
+		return nil, err
+	}
+	c.reads++
+	l, err := decodeLeaf(buf)
+	if err != nil {
+		return nil, err
+	}
+	if c.leaves == nil {
+		c.leaves = make(map[device.PageID]*leafNode)
+	}
+	c.leaves[pid] = l
+	return l, nil
+}

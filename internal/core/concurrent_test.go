@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"sort"
 	"sync"
 	"testing"
 
@@ -33,11 +34,27 @@ func probeKeys(fx *fixture) []uint64 {
 }
 
 // flatten canonicalizes a probe result for equality comparison: tuple
-// order within one probe is deterministic (ascending page order), so a
-// plain concatenation suffices.
+// order within one probe is deterministic (ascending page order for
+// plain scans, boundary-probe order for optimized ones), so a plain
+// concatenation suffices — against a baseline of the same scan variant.
 func flatten(res *Result) []byte {
 	var out []byte
 	for _, tup := range res.Tuples {
+		out = append(out, tup...)
+	}
+	return out
+}
+
+// flattenSorted canonicalizes a result as a tuple multiset, for
+// comparisons across scan variants with different emission orders.
+func flattenSorted(res *Result) []byte {
+	tuples := make([]string, len(res.Tuples))
+	for i, tup := range res.Tuples {
+		tuples[i] = string(tup)
+	}
+	sort.Strings(tuples)
+	var out []byte
+	for _, tup := range tuples {
 		out = append(out, tup...)
 	}
 	return out
@@ -169,8 +186,11 @@ func runConcurrentRangeScan(t *testing.T, cached bool) {
 			t.Fatal(err)
 		}
 		expectedOpt[i] = flatten(opt)
-		if !bytes.Equal(expected[i], expectedOpt[i]) {
-			t.Fatalf("span %d: optimized scan differs from plain scan", i)
+		// The optimized cursor probes boundary keys lazily, so its
+		// emission order differs from the plain scan's page order; the
+		// tuple multiset must still match exactly.
+		if !bytes.Equal(flattenSorted(res), flattenSorted(opt)) {
+			t.Fatalf("span %d: optimized scan differs from plain scan as a multiset", i)
 		}
 	}
 
@@ -181,12 +201,14 @@ func runConcurrentRangeScan(t *testing.T, cached bool) {
 			defer wg.Done()
 			for i := range spans {
 				sp := spans[(i+w)%len(spans)]
-				want := expected[(i+w)%len(spans)]
+				var want []byte
 				var res *Result
 				var err error
 				if w%2 == 0 {
+					want = expected[(i+w)%len(spans)]
 					res, err = tr.RangeScan(sp.lo, sp.hi)
 				} else {
+					want = expectedOpt[(i+w)%len(spans)]
 					res, err = tr.RangeScanOptimized(sp.lo, sp.hi)
 				}
 				if err != nil {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"bftree/internal/device"
 )
 
@@ -15,7 +13,8 @@ const rangeEnumLimit = 1 << 20
 // reading whole partitions: each BF-leaf overlapping the range
 // contributes all of its data pages (Section 7). Middle partitions are
 // entirely useful; boundary partitions incur the read overhead Figure 13
-// quantifies.
+// quantifies. It is exactly Scan drained to a slice — the streaming
+// cursor is the one scan code path.
 func (t *Tree) RangeScan(lo, hi uint64) (*Result, error) {
 	return t.rangeScan(lo, hi, false)
 }
@@ -28,40 +27,20 @@ func (t *Tree) RangeScanOptimized(lo, hi uint64) (*Result, error) {
 }
 
 func (t *Tree) rangeScan(lo, hi uint64, optimize bool) (*Result, error) {
-	if lo > hi {
-		return nil, fmt.Errorf("%w: range [%d,%d] inverted", ErrOptions, lo, hi)
-	}
-	m, ep := t.beginProbe()
-	defer t.endProbe(ep)
-	res := &Result{}
-	leaf, _, err := t.descend(m.root, lo, &res.Stats)
+	c, err := t.scan(lo, hi, optimize)
 	if err != nil {
 		return nil, err
 	}
-	for {
-		if leaf.minKey > hi {
-			return res, nil
-		}
-		if leaf.maxKey >= lo && leaf.numKeys > 0 {
-			boundary := leaf.minKey < lo || leaf.maxKey > hi
-			if boundary && optimize && overlapSpan(leaf, lo, hi) <= rangeEnumLimit {
-				if err := t.scanBoundaryOptimized(leaf, lo, hi, res); err != nil {
-					return nil, err
-				}
-			} else {
-				if err := t.scanWholeLeaf(leaf, lo, hi, res); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if leaf.next == device.InvalidPage {
-			return res, nil
-		}
-		leaf, err = t.readLeaf(leaf.next, &res.Stats)
-		if err != nil {
-			return nil, err
-		}
+	defer c.Close()
+	res := &Result{}
+	for c.Next() {
+		res.Tuples = append(res.Tuples, c.Tuple())
 	}
+	res.Stats = c.Stats()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // overlapSpan returns the size of the key overlap between a leaf and the
@@ -83,86 +62,6 @@ func overlapSpan(leaf *bfLeaf, lo, hi uint64) uint64 {
 		return ^uint64(0)
 	}
 	return b - a + 1
-}
-
-// scanWholeLeaf reads every data page of the partition sequentially and
-// keeps the tuples inside [lo, hi].
-func (t *Tree) scanWholeLeaf(leaf *bfLeaf, lo, hi uint64, res *Result) error {
-	last := t.lastDataPage()
-	end := leaf.maxPid
-	if end > last {
-		end = last
-	}
-	for pid := leaf.minPid; pid <= end; pid++ {
-		if err := t.collectPage(pid, lo, hi, res); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// scanBoundaryOptimized enumerates the overlap keys, probes the leaf's
-// filters, and reads only the flagged pages.
-func (t *Tree) scanBoundaryOptimized(leaf *bfLeaf, lo, hi uint64, res *Result) error {
-	a, b := leaf.minKey, leaf.maxKey
-	if lo > a {
-		a = lo
-	}
-	if hi < b {
-		b = hi
-	}
-	wanted := make(map[device.PageID]bool)
-	for k := a; ; k++ {
-		matches := leaf.probe(k, t.opts.ParallelProbe)
-		res.Stats.BFProbes += leaf.numBFs()
-		for _, bid := range matches {
-			plo, phi := leaf.pageRangeOf(bid)
-			for p := plo; p <= phi; p++ {
-				wanted[p] = true
-			}
-		}
-		if k == b {
-			break
-		}
-	}
-	last := t.lastDataPage()
-	// Read the wanted pages in ascending order (the sorted access list).
-	end := leaf.maxPid
-	if end > last {
-		end = last
-	}
-	for pid := leaf.minPid; pid <= end; pid++ {
-		if !wanted[pid] {
-			continue
-		}
-		if err := t.collectPage(pid, lo, hi, res); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// collectPage reads one data page and appends its in-range tuples.
-func (t *Tree) collectPage(pid device.PageID, lo, hi uint64, res *Result) error {
-	tuples, err := t.file.ReadPageTuples(pid)
-	if err != nil {
-		return err
-	}
-	res.Stats.DataPagesRead++
-	matched := false
-	for _, tup := range tuples {
-		k := t.file.Schema().Get(tup, t.fieldIdx)
-		if k >= lo && k <= hi {
-			cp := make([]byte, len(tup))
-			copy(cp, tup)
-			res.Tuples = append(res.Tuples, cp)
-			matched = true
-		}
-	}
-	if !matched {
-		res.Stats.FalseReads++
-	}
-	return nil
 }
 
 // Intersect probes this tree and another for the same key and returns

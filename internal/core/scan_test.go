@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bftree/internal/device"
+	"bftree/internal/heapfile"
+	"bftree/internal/pagestore"
+)
+
+// activeReaders sums the epoch registry's buckets — the number of
+// probes (including open scan cursors) currently pinning a snapshot.
+func activeReaders(tr *Tree) int64 {
+	return tr.readers.active[0].Load() + tr.readers.active[1].Load()
+}
+
+// TestScanCursorEpochLifecycle pins the cursor's reader registration:
+// held from Scan across every Next, released exactly once — whether the
+// cursor is drained, closed early, or closed twice.
+func TestScanCursorEpochLifecycle(t *testing.T) {
+	keys := make([]uint64, 4000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	f, _ := buildKeyedFile(t, keys)
+	idx := pagestore.New(device.New(device.Memory, 4096))
+	tr, err := BulkLoad(idx, f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := activeReaders(tr); n != 0 {
+		t.Fatalf("%d active readers before any scan", n)
+	}
+
+	// Early Close releases the registration exactly once.
+	c, err := tr.Scan(0, 3999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := activeReaders(tr); n != 1 {
+		t.Fatalf("open cursor: %d active readers, want 1", n)
+	}
+	for i := 0; i < 3 && c.Next(); i++ {
+	}
+	if n := activeReaders(tr); n != 1 {
+		t.Fatalf("mid-scan: %d active readers, want 1", n)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := activeReaders(tr); n != 0 {
+		t.Fatalf("after early Close: %d active readers, want 0", n)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if n := activeReaders(tr); n != 0 {
+		t.Fatalf("after double Close: %d active readers, want 0 (released twice?)", n)
+	}
+	if c.Next() {
+		t.Error("Next() = true after Close")
+	}
+
+	// Exhaustion releases without an explicit Close.
+	c, err = tr.Scan(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for c.Next() {
+		got++
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 101 {
+		t.Fatalf("drained %d tuples, want 101", got)
+	}
+	if n := activeReaders(tr); n != 0 {
+		t.Fatalf("after exhaustion: %d active readers, want 0", n)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close after exhaustion: %v", err)
+	}
+	if n := activeReaders(tr); n != 0 {
+		t.Fatalf("Close after exhaustion released again: %d active readers", n)
+	}
+
+	// An inverted range fails before registering anything.
+	if _, err := tr.Scan(10, 5); err == nil {
+		t.Error("Scan(10,5) did not fail")
+	}
+	if n := activeReaders(tr); n != 0 {
+		t.Fatalf("failed Scan leaked a reader registration: %d active", n)
+	}
+}
+
+// TestScanEarlyClosePageEconomy asserts that a cursor abandoned
+// mid-scan leaves the page economy balanced: once it is closed,
+// structural writers can flip epochs, limbo drains completely, and
+// live + free + limbo pages account for the whole index device.
+func TestScanEarlyClosePageEconomy(t *testing.T) {
+	keys := make([]uint64, 4000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	f, dataStore := buildKeyedFile(t, keys)
+	// Small index pages force splits (and hence COW retirements) as the
+	// appends below land.
+	idx := pagestore.New(device.New(device.Memory, 512))
+	tr, err := BulkLoad(idx, f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open a cursor, pull a little, abandon it. While it is open the
+	// epoch it pinned cannot be retired past.
+	c, err := tr.Scan(0, 3999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5 && c.Next(); i++ {
+	}
+
+	// Structural churn while the cursor is open: append new data pages
+	// and index their keys at the tail, forcing splits that retire pages
+	// into limbo.
+	perPage := f.TuplesPerPage()
+	next := uint64(len(keys))
+	tup := make([]byte, 64)
+	for batch := 0; batch < 20; batch++ {
+		b, err := heapfile.NewBuilder(dataStore, insertSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < perPage; i++ {
+			insertSchema.Set(tup, 0, next+uint64(i))
+			if err := b.Append(tup); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seg, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Extend(seg.NumPages(), seg.NumTuples())
+		for i := 0; i < perPage; i++ {
+			if err := tr.Insert(next+uint64(i), seg.FirstPage()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		next += uint64(perPage)
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := activeReaders(tr); n != 0 {
+		t.Fatalf("after Close: %d active readers, want 0", n)
+	}
+
+	// With the cursor gone, two quiescent epoch flips must reclaim all
+	// limbo, and the economy must balance.
+	tr.writeMu.Lock()
+	tr.reclaim()
+	tr.reclaim()
+	inLimbo := uint64(len(tr.limboPrev) + len(tr.limboCur))
+	tr.writeMu.Unlock()
+	if inLimbo != 0 {
+		t.Errorf("%d retired pages stuck in limbo after the cursor closed", inLimbo)
+	}
+	live := tr.NumNodes()
+	free := uint64(idx.FreePages())
+	total := idx.Device().NumPages()
+	if live+free+inLimbo != total {
+		t.Errorf("page economy leaks: live %d + free %d + limbo %d != device %d",
+			live, free, inLimbo, total)
+	}
+}
+
+// TestScanConcurrentWithWriters runs streaming cursors — some drained,
+// some abandoned mid-scan — against a structural appender, under the
+// race detector in CI. Every drained scan must see exactly the
+// initially loaded tuples of its range (appends land beyond hi), and at
+// quiescence no reader registration or limbo page may linger.
+func TestScanConcurrentWithWriters(t *testing.T) {
+	const distinct = 4000
+	keys := make([]uint64, distinct)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	f, dataStore := buildKeyedFile(t, keys)
+	idx := pagestore.New(device.New(device.Memory, 512))
+	tr, err := BulkLoad(idx, f, 0, Options{FPP: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	done := make(chan struct{})
+
+	// The appender: structural churn at the tail for the whole run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		perPage := f.TuplesPerPage()
+		next := uint64(distinct)
+		tup := make([]byte, 64)
+		for batch := 0; batch < 30; batch++ {
+			b, err := heapfile.NewBuilder(dataStore, insertSchema)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for i := 0; i < perPage; i++ {
+				insertSchema.Set(tup, 0, next+uint64(i))
+				if err := b.Append(tup); err != nil {
+					fail(err)
+					return
+				}
+			}
+			seg, err := b.Finish()
+			if err != nil {
+				fail(err)
+				return
+			}
+			f.Extend(seg.NumPages(), seg.NumTuples())
+			for i := 0; i < perPage; i++ {
+				if err := tr.Insert(next+uint64(i), seg.FirstPage()); err != nil {
+					fail(err)
+					return
+				}
+			}
+			next += uint64(perPage)
+		}
+	}()
+
+	// Drainers: full scans over the initial key domain; appended keys
+	// all land past hi, so each drain must count exactly its range.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo := uint64(g * 500)
+			hi := uint64(distinct - 1 - g*250)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				c, err := tr.Scan(lo, hi)
+				if err != nil {
+					fail(err)
+					return
+				}
+				got := 0
+				for c.Next() {
+					got++
+				}
+				if err := c.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if want := int(hi - lo + 1); got != want {
+					fail(fmt.Errorf("scan [%d,%d] saw %d tuples, want %d", lo, hi, got, want))
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Abandoners: open, pull a handful, Close mid-scan — the release
+	// path racing the appender's epoch flips.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				c, err := tr.Scan(0, distinct-1)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for i := 0; i < 10 && c.Next(); i++ {
+				}
+				if err := c.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := c.Close(); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if n := activeReaders(tr); n != 0 {
+		t.Fatalf("at quiescence: %d active readers, want 0", n)
+	}
+	tr.writeMu.Lock()
+	tr.reclaim()
+	tr.reclaim()
+	inLimbo := uint64(len(tr.limboPrev) + len(tr.limboCur))
+	tr.writeMu.Unlock()
+	if inLimbo != 0 {
+		t.Errorf("%d retired pages stuck in limbo at quiescence", inLimbo)
+	}
+	live := tr.NumNodes()
+	free := uint64(idx.FreePages())
+	total := idx.Device().NumPages()
+	if live+free+inLimbo != total {
+		t.Errorf("page economy leaks: live %d + free %d + limbo %d != device %d",
+			live, free, inLimbo, total)
+	}
+}

@@ -505,64 +505,17 @@ func (t *Tree) FlushHead() error {
 // per-level results are merged, the ordered-scan pattern the fractional
 // cascade cannot provide across levels.
 func (t *Tree) RangeScan(lo, hi uint64) ([]bptree.TupleRef, *SearchStats, error) {
-	if lo > hi {
-		return nil, nil, fmt.Errorf("%w: range [%d,%d] inverted", ErrInvalid, lo, hi)
+	c, err := t.Scan(lo, hi)
+	if err != nil {
+		return nil, nil, err
 	}
-	stats := &SearchStats{}
-	collect := func(entries []entry, out []entry) []entry {
-		i := sort.Search(len(entries), func(i int) bool { return entries[i].key >= lo })
-		for ; i < len(entries) && entries[i].key <= hi; i++ {
-			if entries[i].kind == kindRecord {
-				out = append(out, entries[i])
-			}
-		}
-		return out
+	var refs []bptree.TupleRef
+	for c.Next() {
+		refs = append(refs, c.Ref())
 	}
-	merged := collect(t.head, nil)
-	for _, lv := range t.levels {
-		if lv.pages == 0 {
-			continue
-		}
-		// Binary search the run's contiguous pages for the first page
-		// whose first key is at or past lo, then back up one page: the
-		// page before may still hold in-range records at its tail. Any
-		// number of duplicate-of-lo pages follow and are covered by the
-		// forward scan — only the page preceding the boundary can hide
-		// range entries. A read error inside the predicate is captured
-		// and propagated, never folded into the position.
-		var searchErr error
-		start := sort.Search(lv.pages, func(p int) bool {
-			page, err := t.readRunPage(lv.first + device.PageID(p))
-			if err != nil {
-				searchErr = err
-				return true
-			}
-			stats.PagesRead++
-			return len(page) > 0 && page[0].key >= lo
-		})
-		if searchErr != nil {
-			return nil, nil, searchErr
-		}
-		if start > 0 {
-			start--
-		}
-		var found []entry
-		for p := start; p < lv.pages; p++ {
-			page, err := t.readRunPage(lv.first + device.PageID(p))
-			if err != nil {
-				return nil, nil, err
-			}
-			stats.PagesRead++
-			found = collect(page, found)
-			if len(page) > 0 && page[len(page)-1].key > hi {
-				break
-			}
-		}
-		merged = mergeRecords(merged, found)
+	stats := c.Stats()
+	if err := c.Err(); err != nil {
+		return nil, nil, err
 	}
-	refs := make([]bptree.TupleRef, len(merged))
-	for i, e := range merged {
-		refs[i] = e.ref
-	}
-	return refs, stats, nil
+	return refs, &stats, nil
 }

@@ -88,6 +88,32 @@ func (idx *Index) SearchRange(lo, hi uint64) []bptree.TupleRef {
 	return out
 }
 
+// MultiSearch answers a batch of point lookups: keys are sorted and
+// deduped, then each bucket is probed once. The probes are constant-time
+// memory operations, so unlike the tree backends there is no index I/O
+// to share — batching here only establishes the key-ordered grouping
+// (groups in ascending key order, keys without matches omitted) that
+// lets callers dedup the data page fetches downstream.
+func (idx *Index) MultiSearch(keys []uint64) []bptree.KeyRefs {
+	if len(keys) == 0 {
+		return nil
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []bptree.KeyRefs
+	var prev uint64
+	for i, k := range sorted {
+		if i > 0 && k == prev {
+			continue
+		}
+		prev = k
+		if refs := idx.buckets[k]; len(refs) > 0 {
+			out = append(out, bptree.KeyRefs{Key: k, Refs: refs})
+		}
+	}
+	return out
+}
+
 // NumEntries returns the number of stored mappings.
 func (idx *Index) NumEntries() uint64 { return idx.entries }
 
