@@ -5,9 +5,9 @@ GO ?= go
 
 # Packages with concurrency-sensitive code; `make race` and CI run these
 # under the race detector.
-RACE_PKGS := ./internal/core/... ./internal/pagestore/... ./internal/device/...
+RACE_PKGS := ./internal/core/... ./internal/pagestore/... ./internal/device/... ./internal/forest/...
 
-.PHONY: help build test race bench bench-json conformance fmt fmt-fix vet ci clean
+.PHONY: help build test race bench bench-json conformance forest fmt fmt-fix vet ci clean
 
 help:
 	@echo "BF-Tree — available targets:"
@@ -16,6 +16,7 @@ help:
 	@echo "  make test     - go test ./..."
 	@echo "  make race     - race-detector tests on core/pagestore/device"
 	@echo "  make conformance - cross-backend index API conformance suite"
+	@echo "  make forest   - forest race suite + concurrent conformance under -race"
 	@echo "  make bench    - run every benchmark once (smoke) "
 	@echo "  make bench-json - regenerate BENCH_scan.json / BENCH_batch.json"
 	@echo "  make fmt      - fail if any file needs gofmt"
@@ -37,6 +38,13 @@ race:
 conformance:
 	$(GO) test -run 'TestConformance|TestCapabilityMatrix' -v ./index/
 
+# The sharded-forest gate: per-shard maintainers and the page-economy
+# audit under the race detector, plus every backend's concurrent
+# conformance run.
+forest:
+	$(GO) test -race ./internal/forest/
+	$(GO) test -race -run TestConformanceConcurrent ./index/
+
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
@@ -45,6 +53,7 @@ bench:
 bench-json:
 	$(GO) run ./cmd/bfbench -exp scan-stream -tuples 30000 -probes 128 -json .
 	$(GO) run ./cmd/bfbench -exp batched-probe -tuples 30000 -probes 256 -json .
+	$(GO) run ./cmd/bfbench -exp point-lookup -index=each -tuples 30000 -probes 256 -json .
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -57,7 +66,7 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race conformance bench
+ci: fmt vet build test race conformance forest bench
 
 clean:
 	$(GO) clean -testcache

@@ -12,6 +12,7 @@
 //	bfbench -exp churn                 # self-maintaining mode under 1M-op churn
 //	bfbench -exp fig5a -index=bptree   # point lookups on another backend
 //	bfbench -exp point-lookup -index=each  # cross-backend comparison
+//	bfbench -exp shard-scale -skew 1.2 # sharded forest under skewed writers
 //
 // The -index flag selects the registered backend the point-lookup
 // experiments probe (any name from the bftree/index registry); the
@@ -43,7 +44,8 @@ func main() {
 		probes  = flag.Int("probes", 0, "override probes per measurement")
 		seed    = flag.Int64("seed", 0, "override workload seed")
 		backend = flag.String("index", "", "index backend for point-lookup experiments (registry name, or 'each')")
-		jsonDir = flag.String("json", "", "directory for the streaming/batching experiments' JSON records (BENCH_scan.json, BENCH_batch.json)")
+		skew    = flag.Float64("skew", 0, "Zipfian skew for experiments that support it (shard-scale); ≤ 1 is uniform")
+		jsonDir = flag.String("json", "", "directory for experiments' JSON records (BENCH_scan.json, BENCH_batch.json, BENCH_point.json)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -76,6 +78,7 @@ func main() {
 		s.Seed = *seed
 	}
 	s.JSONDir = *jsonDir
+	s.Skew = *skew
 	if *backend != "" {
 		if *backend == "each" {
 			// Only the registry-walking experiment accepts "each"; the

@@ -13,8 +13,9 @@ const defaultBFTreeFPP = 1e-3
 
 func init() {
 	Register(Backend{
-		Name:        "bftree",
-		Approximate: true,
+		Name:              "bftree",
+		Approximate:       true,
+		ConcurrentWriters: true,
 		BulkLoad: func(store *Store, file *File, fieldIdx int, opts Options) (Index, error) {
 			o := opts.BFTree
 			if o.FPP == 0 {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"sort"
+	"sync"
 	"testing"
 
 	"bftree/index"
@@ -272,6 +273,137 @@ func TestConformance(t *testing.T) {
 	}
 }
 
+// TestConformanceConcurrent is the contract of DESIGN.md §3 at the
+// unified-API layer: every backend must serve 8 concurrent probers
+// (point lookups, batched probes, streaming scans per its
+// capabilities), and backends advertising ConcurrentWriters must keep
+// serving them while capability writers churn delete/re-insert rounds
+// of real associations. Under churn an answer may shrink but never
+// exceeds the physical association count, and after the writers drain
+// every sampled lookup answers golden again. Run with -race.
+func TestConformanceConcurrent(t *testing.T) {
+	const n = 3000 // 1000 distinct keys, 3 tuples each
+	file, _ := goldenRelation(t, n)
+	maxKey := uint64(n/3-1) * 5
+
+	for _, name := range index.Backends() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			backend, _ := index.Lookup(name)
+			idxStore := pagestore.New(device.New(device.Memory, 4096))
+			ix, err := index.New(name, idxStore, file, 0, index.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+
+			// Writer key slices: every 13th key, refs resolved up front so
+			// the churn loop touches only the index.
+			var churnKeys []uint64
+			refs := map[uint64][]index.Ref{}
+			if backend.ConcurrentWriters {
+				for k := uint64(0); k <= maxKey; k += 5 * 13 {
+					churnKeys = append(churnKeys, k)
+					refs[k] = refsOf(t, file, k)
+				}
+			}
+
+			const writers, probers, rounds = 4, 8, 25
+			var wg sync.WaitGroup
+			errCh := make(chan error, writers+probers)
+
+			if backend.ConcurrentWriters {
+				ins := ix.(index.Inserter)
+				del := ix.(index.Deleter)
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for r := 0; r < rounds; r++ {
+							// Disjoint key slices per writer: the §3 contract
+							// serializes writers per association, not globally.
+							for i := w; i < len(churnKeys); i += writers {
+								k := churnKeys[i]
+								for _, ref := range refs[k] {
+									if err := del.Delete(k, ref); err != nil {
+										errCh <- err
+										return
+									}
+								}
+								for _, ref := range refs[k] {
+									if err := ins.Insert(k, ref); err != nil {
+										errCh <- err
+										return
+									}
+								}
+							}
+						}
+					}(w)
+				}
+			}
+
+			for p := 0; p < probers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						k := (uint64(p*31+r*7) % (maxKey / 5)) * 5
+						res, err := ix.Search(k)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if len(res.Tuples) > 3 {
+							t.Errorf("Search(%d) under churn: %d tuples exceeds physical 3", k, len(res.Tuples))
+							return
+						}
+						if ms, ok := ix.(index.MultiSearcher); ok {
+							if _, err := ms.MultiSearch([]uint64{k, k + 5, k + 150}); err != nil {
+								errCh <- err
+								return
+							}
+						}
+						if sc, ok := ix.(index.Scanner); ok {
+							it, err := sc.Scan(k, k+100)
+							if err != nil {
+								errCh <- err
+								return
+							}
+							for s := 0; it.Next() && s < 32; s++ {
+							}
+							err = it.Err()
+							it.Close()
+							if err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}
+				}(p)
+			}
+
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+
+			// Post-churn: delete/re-insert round-trips must have restored
+			// golden answers (sampled; full equality for every backend,
+			// approximate included — re-insert repopulates the filters).
+			for k := uint64(0); k <= maxKey; k += 5 * 29 {
+				res, err := ix.Search(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := goldenTuples(t, file, k, k); !sameTuples(res.Tuples, want) {
+					t.Fatalf("post-churn Search(%d): %d tuples, want %d", k, len(res.Tuples), len(want))
+				}
+			}
+		})
+	}
+}
+
 // TestConformanceDedupLayout runs the point/range checks again for the
 // tree backends in the paper's deduplicated layout for ordered
 // non-unique attributes, where probes must chase duplicates through the
@@ -317,10 +449,11 @@ func TestConformanceDedupLayout(t *testing.T) {
 func TestCapabilityMatrix(t *testing.T) {
 	file, _ := goldenRelation(t, 300)
 	matrix := map[string]map[string]bool{
-		"bftree": {"Inserter": true, "Deleter": true, "Flusher": false, "Persister": true, "Maintainer": true, "Warmable": true, "Scanner": true, "MultiSearcher": true},
-		"bptree": {"Inserter": true, "Deleter": false, "Flusher": false, "Persister": false, "Maintainer": false, "Warmable": true, "Scanner": true, "MultiSearcher": true},
-		"fdtree": {"Inserter": true, "Deleter": false, "Flusher": true, "Persister": false, "Maintainer": false, "Warmable": false, "Scanner": true, "MultiSearcher": true},
-		"hash":   {"Inserter": true, "Deleter": true, "Flusher": false, "Persister": false, "Maintainer": false, "Warmable": false, "Scanner": true, "MultiSearcher": true},
+		"bftree":   {"Inserter": true, "Deleter": true, "Flusher": false, "Persister": true, "Maintainer": true, "Warmable": true, "Scanner": true, "MultiSearcher": true},
+		"bfforest": {"Inserter": true, "Deleter": true, "Flusher": false, "Persister": true, "Maintainer": true, "Warmable": true, "Scanner": true, "MultiSearcher": true},
+		"bptree":   {"Inserter": true, "Deleter": false, "Flusher": false, "Persister": false, "Maintainer": false, "Warmable": true, "Scanner": true, "MultiSearcher": true},
+		"fdtree":   {"Inserter": true, "Deleter": false, "Flusher": true, "Persister": false, "Maintainer": false, "Warmable": false, "Scanner": true, "MultiSearcher": true},
+		"hash":     {"Inserter": true, "Deleter": true, "Flusher": false, "Persister": false, "Maintainer": false, "Warmable": false, "Scanner": true, "MultiSearcher": true},
 	}
 	for _, name := range index.Backends() {
 		want, known := matrix[name]

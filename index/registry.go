@@ -34,6 +34,13 @@ type Options struct {
 	// update-intensive buffered mode of Section 4.2 with that buffer
 	// capacity: Insert batches in memory, Flush applies leaf-by-leaf.
 	BufferedInserts int
+	// ForestShards sets the bfforest backend's shard count; 0 selects
+	// the forest package default (4). Ignored by single-tree backends.
+	ForestShards int
+	// ForestHash switches the bfforest backend from range partitioning
+	// (the default, ordered shards, concatenating scans) to hash
+	// partitioning (skew-resistant point routing, k-way merged scans).
+	ForestHash bool
 }
 
 // Backend is one registered index implementation: a name, the build
@@ -51,6 +58,12 @@ type Backend struct {
 	// memory: probes charge no index-device I/O, and the index-device
 	// axis of the storage configurations does not apply.
 	MemoryResident bool
+	// ConcurrentWriters marks backends whose capability writers
+	// (Insert/Delete) are safe to run concurrently with probes and each
+	// other, per the DESIGN.md §3 contract. Backends without it are
+	// read-safe after build only while no writer runs; the concurrent
+	// conformance suite keys its writer goroutines on this.
+	ConcurrentWriters bool
 	// BulkLoad builds the index over the fieldIdx-th field of file,
 	// writing any index pages to store. Required.
 	BulkLoad func(store *Store, file *File, fieldIdx int, opts Options) (Index, error)

@@ -76,9 +76,16 @@ type Scale struct {
 	Index string
 
 	// JSONDir, when non-empty, makes the streaming/batching experiments
-	// (scan-stream, batched-probe) also write their Record rows as JSON
-	// files (BENCH_scan.json, BENCH_batch.json) into this directory.
+	// (scan-stream, batched-probe, point-lookup) also write their Record
+	// rows as JSON files (BENCH_scan.json, BENCH_batch.json,
+	// BENCH_point.json) into this directory.
 	JSONDir string
+
+	// Skew is the Zipfian skew parameter of workloads that support it
+	// (shard-scale's writer shard choice): values above 1 concentrate
+	// load on the hottest shard, 0 or 1 keeps the pre-skew uniform
+	// spread. Set by bfbench's -skew flag.
+	Skew float64
 }
 
 // IndexBackend resolves the Index selection, defaulting to the BF-Tree.
@@ -163,6 +170,7 @@ func (e *Env) Elapsed() time.Duration {
 // Measurement is the outcome of one probe batch.
 type Measurement struct {
 	AvgTime       time.Duration // virtual response time per probe
+	P50, P99      time.Duration // per-probe virtual latency quantiles
 	FalsePerProbe float64       // falsely read data pages per probe
 	DataReads     uint64
 	IdxReads      uint64
@@ -182,6 +190,8 @@ func BuildIndex(name string, env *Env, file *heapfile.File, fieldIdx int, opts i
 func MeasureIndex(env *Env, ix index.Index, keys []uint64, unique bool) (*Measurement, error) {
 	env.ResetIO()
 	var falseReads, tuples int
+	lats := make([]time.Duration, 0, len(keys))
+	prev := time.Duration(0)
 	for _, k := range keys {
 		var res *index.Result
 		var err error
@@ -195,9 +205,17 @@ func MeasureIndex(env *Env, ix index.Index, keys []uint64, unique bool) (*Measur
 		}
 		falseReads += res.Stats.FalseReads
 		tuples += len(res.Tuples)
+		// Per-probe virtual latency: the delta of the devices' charged
+		// I/O time across this probe (probes run sequentially here).
+		now := env.Elapsed()
+		lats = append(lats, now-prev)
+		prev = now
 	}
+	p50, p99 := latencyQuantiles(lats)
 	return &Measurement{
 		AvgTime:       env.Elapsed() / time.Duration(len(keys)),
+		P50:           p50,
+		P99:           p99,
 		FalsePerProbe: float64(falseReads) / float64(len(keys)),
 		DataReads:     env.DataDev.Stats().Reads(),
 		IdxReads:      env.IdxDev.Stats().Reads(),

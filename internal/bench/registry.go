@@ -38,6 +38,7 @@ var Experiments = map[string]Runner{
 	"churn":            RunChurn,
 	"scan-stream":      RunScanStream,
 	"batched-probe":    RunBatchedProbe,
+	"shard-scale":      RunShardScale,
 
 	"point-lookup": RunPointLookup,
 

@@ -62,6 +62,12 @@ type Tree struct {
 	// error. Test-only: set while the tree is quiescent to exercise
 	// failure paths (e.g. the appendLeaf tail relink).
 	leafWriteFault func(device.PageID) error
+
+	// part, when non-nil, restricts the tree to one shard of the
+	// relation (partition.go). Immutable after construction; Rebuild
+	// re-applies it so drift compaction never re-indexes keys the
+	// shard does not own.
+	part *Partition
 }
 
 // pageKeys is the per-data-page key summary gathered while scanning the
@@ -112,7 +118,7 @@ func leafShape(pages, baseGranularity, maxS int) (granularity, s int) {
 // Under Options.Maintenance.Mode == MaintenanceAuto the returned tree
 // owns a background maintainer goroutine; call Close to drain it.
 func BulkLoad(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts Options) (*Tree, error) {
-	t, err := bulkLoadTree(idxStore, file, fieldIdx, opts)
+	t, err := bulkLoadTree(idxStore, file, fieldIdx, opts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -125,8 +131,11 @@ func BulkLoad(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts
 // bulkLoadTree is BulkLoad without the maintainer lifecycle: Rebuild
 // uses it to construct the replacement tree (whose Tree shell is
 // discarded — only its published meta survives), so no goroutine may be
-// attached to it.
-func bulkLoadTree(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts Options) (*Tree, error) {
+// attached to it. A non-nil part filters the build down to the keys the
+// partition accepts: pages holding none of them are skipped entirely,
+// which is what gives a range shard leaf spans covering only its slice
+// of the file.
+func bulkLoadTree(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts Options, part *Partition) (*Tree, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
@@ -138,7 +147,7 @@ func bulkLoadTree(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, 
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{store: idxStore, file: file, fieldIdx: fieldIdx, opts: o, geo: geo}
+	t := &Tree{store: idxStore, file: file, fieldIdx: fieldIdx, opts: o, geo: geo, part: part}
 
 	// Pass 1: scan data pages, packing leaves by distinct keys — at most
 	// KeysPerLeaf each, the Equation 5 capacity that guarantees the
@@ -161,6 +170,11 @@ func bulkLoadTree(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, 
 	haveLast := false
 
 	flush := func() error {
+		// Trailing gap pages (possible only under a partition) would
+		// stretch the leaf's span past its last owned page.
+		for len(cur) > 0 && len(cur[len(cur)-1].keys) == 0 {
+			cur = cur[:len(cur)-1]
+		}
 		if len(cur) == 0 {
 			return nil
 		}
@@ -185,6 +199,9 @@ func bulkLoadTree(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, 
 		newDistinct := uint64(0)
 		for _, tup := range tuples {
 			k := file.Schema().Get(tup, fieldIdx)
+			if !part.Accept(k) {
+				continue
+			}
 			if len(keys) == 0 || keys[len(keys)-1] != k {
 				keys = append(keys, k)
 			}
@@ -193,6 +210,18 @@ func bulkLoadTree(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, 
 				lastKey = k
 				haveLast = true
 			}
+		}
+		if part != nil && len(keys) == 0 {
+			// No accepted keys on this page. A leading gap is skipped
+			// outright (leaf spans start at the shard's first owned
+			// page); an interior gap — possible under hash partitioning
+			// — must stay in the leaf as an empty entry, because leaf
+			// geometry (bfIndexOf, pageRangeOf) assumes its page run is
+			// contiguous. Trailing gaps are trimmed at flush.
+			if len(cur) > 0 {
+				cur = append(cur, pageKeys{pid: pid})
+			}
+			continue
 		}
 		if len(cur) > 0 && curDistinct+newDistinct > budget {
 			if err := flush(); err != nil {
@@ -208,7 +237,19 @@ func bulkLoadTree(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, 
 		return nil, err
 	}
 	if len(leaves) == 0 {
-		return nil, fmt.Errorf("%w: empty relation", ErrOptions)
+		if part == nil {
+			return nil, fmt.Errorf("%w: empty relation", ErrOptions)
+		}
+		// The key distribution left this shard nothing. A shard must
+		// still exist — and accept appends later — so build one empty
+		// leaf over the file's first page. Its minKey/maxKey sentinels
+		// (^0/0) keep every probe and scan out of it until an insert
+		// lands.
+		posPerBF := geo.positionsFor(1, o.Filter)
+		lo := o
+		lo.Granularity = 1
+		lo.Hashes = hashesFor(o.Hashes, posPerBF, geo.KeysPerLeaf, 1)
+		leaves = append(leaves, newBFLeaf(file.FirstPage(), file.FirstPage(), lo, posPerBF, 1))
 	}
 
 	// Write the leaf level to contiguous pages, chaining next pointers.

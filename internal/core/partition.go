@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"bftree/internal/heapfile"
+	"bftree/internal/pagestore"
+)
+
+// Partition restricts a tree to one shard of the indexed relation: the
+// tree indexes only the keys the partition accepts, while reading the
+// same shared heap file as every sibling shard. Partitioning is by KEY,
+// not by page — a duplicate run straddling a page cut belongs wholly to
+// the shard that owns its key, so two shards may both cover the
+// straddling page without ever double-claiming an association (the
+// cross-shard exactly-once rule of the forest layer).
+//
+// Two kinds exist. A range partition (Hash == false) accepts the keys
+// in [KeyLo, KeyHi], which is how the forest keeps shards ordered and
+// range scans mergeable by concatenation. A hash partition (Hash ==
+// true) accepts keys whose mixed hash lands on the shard ordinal —
+// point-lookup-friendly under skew, at the cost of every shard's leaves
+// spanning most of the file.
+//
+// The partition is part of the tree's identity: it survives Rebuild
+// (drift compaction re-applies the same filter, so a shard never
+// swallows the whole file) and is carried by the owning composite
+// across MarshalMeta/OpenPartition.
+type Partition struct {
+	// Shard is this partition's ordinal in [0, Shards); Shards the
+	// total shard count.
+	Shard, Shards int
+	// KeyLo, KeyHi are the inclusive accepted key bounds of a range
+	// partition; ignored when Hash is set.
+	KeyLo, KeyHi uint64
+	// Hash selects hash partitioning: accept keys with
+	// HashKey(key) % Shards == Shard.
+	Hash bool
+}
+
+// validate rejects malformed partitions before they reach a build.
+func (p *Partition) validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.Shards < 1 || p.Shard < 0 || p.Shard >= p.Shards {
+		return fmt.Errorf("%w: partition %d of %d", ErrOptions, p.Shard, p.Shards)
+	}
+	if !p.Hash && p.KeyLo > p.KeyHi {
+		return fmt.Errorf("%w: partition key range [%d,%d] inverted", ErrOptions, p.KeyLo, p.KeyHi)
+	}
+	return nil
+}
+
+// Accept reports whether the partition owns key. A nil partition owns
+// everything (the single-tree case).
+func (p *Partition) Accept(key uint64) bool {
+	if p == nil {
+		return true
+	}
+	if p.Hash {
+		return HashKey(key)%uint64(p.Shards) == uint64(p.Shard)
+	}
+	return key >= p.KeyLo && key <= p.KeyHi
+}
+
+// HashKey is the shard-routing mix (a splitmix64 finalizer): every
+// consumer of hash partitions — build, probe routing, scan filtering —
+// must agree on it, so it is exported alongside Partition.
+func HashKey(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// BulkLoadPartition is BulkLoad restricted to one partition of the
+// relation: only accepted keys are indexed, and only the pages holding
+// them enter the shard's leaf spans. An empty partition (no accepted
+// keys anywhere) builds a valid one-leaf tree that answers every probe
+// empty — a forest shard must exist even when the key distribution
+// leaves it nothing, and it must accept appends later.
+//
+// Like BulkLoad, the returned tree owns a background maintainer under
+// Options.Maintenance.Mode == MaintenanceAuto; call Close to drain it.
+func BulkLoadPartition(idxStore *pagestore.Store, file *heapfile.File, fieldIdx int, opts Options, part *Partition) (*Tree, error) {
+	if err := part.validate(); err != nil {
+		return nil, err
+	}
+	t, err := bulkLoadTree(idxStore, file, fieldIdx, opts, part)
+	if err != nil {
+		return nil, err
+	}
+	if t.opts.Maintenance.Mode == MaintenanceAuto {
+		t.StartMaintenance()
+	}
+	return t, nil
+}
+
+// OpenPartition reopens a partitioned tree from a MarshalMeta blob. The
+// metadata layout is identical to an unpartitioned tree's — the
+// partition itself is owned and persisted by the composite (the forest
+// layer), which hands it back here so Rebuild keeps filtering.
+func OpenPartition(store *pagestore.Store, file *heapfile.File, meta []byte, part *Partition) (*Tree, error) {
+	if err := part.validate(); err != nil {
+		return nil, err
+	}
+	return open(store, file, meta, part)
+}
+
+// PartitionOf returns the tree's partition (nil for a whole-relation
+// tree).
+func (t *Tree) PartitionOf() *Partition { return t.part }

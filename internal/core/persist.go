@@ -80,6 +80,13 @@ func (t *Tree) MarshalMeta() []byte {
 // must hold the index pages the metadata references, and file must be
 // the indexed relation.
 func Open(store *pagestore.Store, file *heapfile.File, meta []byte) (*Tree, error) {
+	return open(store, file, meta, nil)
+}
+
+// open is Open with the tree's partition attached before any maintainer
+// goroutine starts — a maintainer racing ahead of the partition could
+// compact a shard into a whole-file index.
+func open(store *pagestore.Store, file *heapfile.File, meta []byte, part *Partition) (*Tree, error) {
 	if len(meta) < metaSize {
 		return nil, fmt.Errorf("%w: metadata is %d bytes, want %d", ErrCorrupt, len(meta), metaSize)
 	}
@@ -133,6 +140,7 @@ func Open(store *pagestore.Store, file *heapfile.File, meta []byte) (*Tree, erro
 		fieldIdx: fieldIdx,
 		opts:     o,
 		geo:      geo,
+		part:     part,
 	}
 	m := &treeMeta{
 		root:      device.PageID(binary.LittleEndian.Uint64(meta[22:30])),
@@ -206,7 +214,7 @@ func (t *Tree) rebuildLocked() error {
 		}
 		pid = leaf.next
 	}
-	fresh, err := bulkLoadTree(t.store, t.file, t.fieldIdx, t.opts)
+	fresh, err := bulkLoadTree(t.store, t.file, t.fieldIdx, t.opts, t.part)
 	if err != nil {
 		return err
 	}

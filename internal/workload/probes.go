@@ -44,6 +44,37 @@ func MakeProbes(n int, hitRate float64, existing, absent []uint64, seed int64) (
 	return &ProbeSet{Keys: keys, HitRate: float64(hits) / float64(n)}, nil
 }
 
+// ZipfRanks draws n ranks in [0, imax] with Zipfian skew s: rank 0 is
+// the hottest, and larger s concentrates more of the draw on the lowest
+// ranks. A skew of 1 or below selects the uniform distribution — the
+// pre-skew behavior of every experiment, and the -skew flag's default.
+func ZipfRanks(n int, s float64, imax uint64, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	if s <= 1 {
+		for i := range out {
+			out[i] = uint64(rng.Int63n(int64(imax + 1)))
+		}
+		return out
+	}
+	z := rand.NewZipf(rng, s, 1, imax)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out
+}
+
+// ZipfKeys draws n keys from existing with Zipfian rank skew s: the
+// slice's leading elements are the hot set. s ≤ 1 draws uniformly.
+func ZipfKeys(n int, s float64, existing []uint64, seed int64) []uint64 {
+	ranks := ZipfRanks(n, s, uint64(len(existing)-1), seed)
+	out := make([]uint64, n)
+	for i, r := range ranks {
+		out[i] = existing[r]
+	}
+	return out
+}
+
 // AbsentKeys returns up to n keys that are guaranteed absent from a dense
 // key domain [lo, hi]: it returns keys above hi.
 func AbsentKeys(hi uint64, n int) []uint64 {

@@ -302,3 +302,56 @@ func TestUniqueKeys(t *testing.T) {
 		t.Errorf("UniqueKeys = %v", got)
 	}
 }
+
+func TestZipfRanksSkewConcentrates(t *testing.T) {
+	const n = 10000
+	const imax = 7
+	uniform := ZipfRanks(n, 0, imax, 42)
+	skewed := ZipfRanks(n, 1.5, imax, 42)
+	count := func(ranks []uint64, r uint64) int {
+		c := 0
+		for _, k := range ranks {
+			if k > imax {
+				t.Fatalf("rank %d out of [0,%d]", k, imax)
+			}
+			if k == r {
+				c++
+			}
+		}
+		return c
+	}
+	// Uniform spreads within a loose band; skew concentrates rank 0 well
+	// past its uniform share.
+	u0 := count(uniform, 0)
+	if u0 < n/(imax+1)/2 || u0 > n/(imax+1)*2 {
+		t.Errorf("uniform rank-0 share %d of %d is not near 1/%d", u0, n, imax+1)
+	}
+	s0 := count(skewed, 0)
+	if s0 < 2*u0 {
+		t.Errorf("skew 1.5 gave rank 0 only %d draws vs uniform %d — no concentration", s0, u0)
+	}
+}
+
+func TestZipfKeysDrawFromExisting(t *testing.T) {
+	existing := []uint64{100, 200, 300, 400}
+	keys := ZipfKeys(500, 2.0, existing, 7)
+	if len(keys) != 500 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	member := map[uint64]bool{}
+	for _, k := range existing {
+		member[k] = true
+	}
+	hot := 0
+	for _, k := range keys {
+		if !member[k] {
+			t.Fatalf("key %d not drawn from existing", k)
+		}
+		if k == existing[0] {
+			hot++
+		}
+	}
+	if hot <= 500/len(existing) {
+		t.Errorf("hottest key drew %d of 500 under skew 2.0", hot)
+	}
+}
