@@ -7,7 +7,7 @@ GO ?= go
 # under the race detector.
 RACE_PKGS := ./internal/core/... ./internal/pagestore/... ./internal/device/... ./internal/forest/...
 
-.PHONY: help build test race bench bench-json conformance forest fmt fmt-fix vet ci clean
+.PHONY: help build test race bench bench-json conformance forest mixed fmt fmt-fix vet ci clean
 
 help:
 	@echo "BF-Tree — available targets:"
@@ -17,8 +17,9 @@ help:
 	@echo "  make race     - race-detector tests on core/pagestore/device"
 	@echo "  make conformance - cross-backend index API conformance suite"
 	@echo "  make forest   - forest race suite + concurrent conformance under -race"
+	@echo "  make mixed    - workload-engine driver tests (golden model + concurrency) under -race"
 	@echo "  make bench    - run every benchmark once (smoke) "
-	@echo "  make bench-json - regenerate BENCH_scan.json / BENCH_batch.json"
+	@echo "  make bench-json - regenerate BENCH_scan.json / BENCH_batch.json / BENCH_mixed.json"
 	@echo "  make fmt      - fail if any file needs gofmt"
 	@echo "  make fmt-fix  - gofmt -w the tree"
 	@echo "  make vet      - go vet ./..."
@@ -45,6 +46,13 @@ forest:
 	$(GO) test -race ./internal/forest/
 	$(GO) test -race -run TestConformanceConcurrent ./index/
 
+# The workload-engine gate: op-stream layer tests, the mixed-op golden
+# model across every backend, and the concurrent mixed driver under the
+# race detector.
+mixed:
+	$(GO) test ./internal/workload/
+	$(GO) test -race -run 'TestDriver|TestMixedWorkload' ./internal/bench/
+
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
@@ -54,6 +62,7 @@ bench-json:
 	$(GO) run ./cmd/bfbench -exp scan-stream -tuples 30000 -probes 128 -json .
 	$(GO) run ./cmd/bfbench -exp batched-probe -tuples 30000 -probes 256 -json .
 	$(GO) run ./cmd/bfbench -exp point-lookup -index=each -tuples 30000 -probes 256 -json .
+	$(GO) run ./cmd/bfbench -exp mixed-workload -index=each -tuples 30000 -probes 256 -json .
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -66,7 +75,7 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race conformance forest bench
+ci: fmt vet build test race conformance forest mixed bench
 
 clean:
 	$(GO) clean -testcache

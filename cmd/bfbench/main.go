@@ -13,12 +13,20 @@
 //	bfbench -exp fig5a -index=bptree   # point lookups on another backend
 //	bfbench -exp point-lookup -index=each  # cross-backend comparison
 //	bfbench -exp shard-scale -skew 1.2 # sharded forest under skewed writers
+//	bfbench -exp mixed-workload -index=each -json .  # preset matrix, BENCH_mixed.json
+//	bfbench -exp mixed-workload -mix oltp -skew 1.4  # one preset, hotter zipf cells
 //
 // The -index flag selects the registered backend the point-lookup
 // experiments probe (any name from the bftree/index registry); the
-// point-lookup experiment additionally accepts "each" to walk the whole
-// registry. No experiment carries per-backend code — selection happens
-// in the unified index API.
+// point-lookup and mixed-workload experiments additionally accept
+// "each" to walk the whole registry. No experiment carries per-backend
+// code — selection happens in the unified index API.
+//
+// The workload-shaping flags (-index, -skew, -mix, -json) apply only to
+// the experiments that declare them (bench.ExperimentFlags): setting
+// one for a single experiment that ignores it is an error; with
+// `-exp all` it becomes a warning naming the experiments that consume
+// it.
 //
 // Scale notes: the default scale shrinks the paper's datasets ~16x so a
 // full run stays interactive; ratios (capacity gain, normalized response
@@ -30,11 +38,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"bftree/index"
 	"bftree/internal/bench"
+	"bftree/internal/workload"
 )
+
+// eachExperiments are the registry-walking experiments -index=each
+// applies to; the per-figure sweeps need one concrete backend.
+var eachExperiments = map[string]bool{
+	"point-lookup":   true,
+	"mixed-workload": true,
+}
+
+// flagConsumers lists the experiments consuming a workload-shaping flag,
+// for the `-exp all` warning.
+func flagConsumers(f string) []string {
+	var names []string
+	for _, n := range bench.ExperimentNames() {
+		for _, c := range bench.ExperimentFlags(n) {
+			if c == f {
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
 
 func main() {
 	var (
@@ -44,8 +76,9 @@ func main() {
 		probes  = flag.Int("probes", 0, "override probes per measurement")
 		seed    = flag.Int64("seed", 0, "override workload seed")
 		backend = flag.String("index", "", "index backend for point-lookup experiments (registry name, or 'each')")
-		skew    = flag.Float64("skew", 0, "Zipfian skew for experiments that support it (shard-scale); ≤ 1 is uniform")
-		jsonDir = flag.String("json", "", "directory for experiments' JSON records (BENCH_scan.json, BENCH_batch.json, BENCH_point.json)")
+		skew    = flag.Float64("skew", 0, "Zipfian skew for experiments that support it (shard-scale, mixed-workload); ≤ 1 is uniform")
+		mixName = flag.String("mix", "", "mixed-workload preset (oltp|olap|reporting|timeseries); empty runs all presets")
+		jsonDir = flag.String("json", "", "directory for experiments' JSON records (BENCH_scan.json, BENCH_batch.json, BENCH_point.json, BENCH_mixed.json)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -79,20 +112,56 @@ func main() {
 	}
 	s.JSONDir = *jsonDir
 	s.Skew = *skew
+	s.Mix = *mixName
+	if *mixName != "" {
+		if _, err := workload.MixByName(*mixName); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if *backend != "" {
 		if *backend == "each" {
-			// Only the registry-walking experiment accepts "each"; the
-			// per-figure sweeps need one concrete backend.
-			if *exp != "point-lookup" {
-				fmt.Fprintln(os.Stderr, "bfbench: -index=each only applies to -exp point-lookup; pick one backend for other experiments")
+			if !eachExperiments[*exp] {
+				fmt.Fprintln(os.Stderr, "bfbench: -index=each only applies to -exp point-lookup or mixed-workload; pick one backend for other experiments")
 				os.Exit(2)
 			}
 		} else if _, ok := index.Lookup(*backend); !ok {
-			fmt.Fprintf(os.Stderr, "bfbench: unknown index backend %q (have %v, or 'each' for point-lookup)\n",
+			fmt.Fprintf(os.Stderr, "bfbench: unknown index backend %q (have %v, or 'each' for point-lookup/mixed-workload)\n",
 				*backend, index.Backends())
 			os.Exit(2)
 		}
 		s.Index = *backend
+	}
+
+	// A workload-shaping override that the selected experiment ignores
+	// would silently measure something other than what was asked for:
+	// reject it for a single experiment, warn under `-exp all` (where
+	// some experiments consume it and the rest ignore it by design).
+	overrides := map[string]bool{
+		"index": *backend != "",
+		"skew":  *skew != 0,
+		"mix":   *mixName != "",
+		"json":  *jsonDir != "",
+	}
+	if *exp == "all" {
+		for _, f := range []string{"index", "skew", "mix", "json"} {
+			if overrides[f] {
+				fmt.Fprintf(os.Stderr, "bfbench: warning: -%s applies only to %v; other experiments ignore it\n",
+					f, flagConsumers(f))
+			}
+		}
+	} else {
+		consumed := map[string]bool{}
+		for _, f := range bench.ExperimentFlags(*exp) {
+			consumed[f] = true
+		}
+		for _, f := range []string{"index", "skew", "mix", "json"} {
+			if overrides[f] && !consumed[f] {
+				fmt.Fprintf(os.Stderr, "bfbench: -%s is not consumed by -exp %s (experiments using it: %v)\n",
+					f, *exp, flagConsumers(f))
+				os.Exit(2)
+			}
+		}
 	}
 
 	names := []string{*exp}

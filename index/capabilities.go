@@ -1,0 +1,33 @@
+package index
+
+// CapSet is the discovered optional-capability surface of one index
+// value — the type-assertion matrix of DESIGN.md §5 as data. The
+// workload engine keys operation redistribution on it: ops a backend
+// cannot run are folded into ones it can, by declared capability
+// rather than per-backend switch.
+type CapSet struct {
+	Insert      bool
+	Delete      bool
+	Flush       bool
+	Persist     bool
+	Maintain    bool
+	Warm        bool
+	Scan        bool
+	MultiSearch bool
+}
+
+// Capabilities reports which optional interfaces v implements. It
+// accepts any value (not just Index) so adapters over the internal
+// tree types can be probed through the same helper.
+func Capabilities(v any) CapSet {
+	var c CapSet
+	_, c.Insert = v.(Inserter)
+	_, c.Delete = v.(Deleter)
+	_, c.Flush = v.(Flusher)
+	_, c.Persist = v.(Persister)
+	_, c.Maintain = v.(Maintainer)
+	_, c.Warm = v.(Warmable)
+	_, c.Scan = v.(Scanner)
+	_, c.MultiSearch = v.(MultiSearcher)
+	return c
+}

@@ -71,21 +71,27 @@ type Scale struct {
 
 	// Index selects the registered backend the point-lookup experiments
 	// probe ("bftree", "bptree", "fdtree", "hash"); empty selects the
-	// BF-Tree. The point-lookup experiment also accepts "each", walking
-	// the whole registry.
+	// BF-Tree. The point-lookup and mixed-workload experiments also
+	// accept "each", walking the whole registry.
 	Index string
 
 	// JSONDir, when non-empty, makes the streaming/batching experiments
-	// (scan-stream, batched-probe, point-lookup) also write their Record
-	// rows as JSON files (BENCH_scan.json, BENCH_batch.json,
-	// BENCH_point.json) into this directory.
+	// (scan-stream, batched-probe, point-lookup, mixed-workload) also
+	// write their Record rows as JSON files (BENCH_scan.json,
+	// BENCH_batch.json, BENCH_point.json, BENCH_mixed.json) into this
+	// directory.
 	JSONDir string
 
 	// Skew is the Zipfian skew parameter of workloads that support it
-	// (shard-scale's writer shard choice): values above 1 concentrate
-	// load on the hottest shard, 0 or 1 keeps the pre-skew uniform
-	// spread. Set by bfbench's -skew flag.
+	// (shard-scale's writer shard choice, mixed-workload's zipf cells):
+	// values above 1 concentrate load on the hottest keys, 0 or 1 keeps
+	// the pre-skew uniform spread. Set by bfbench's -skew flag.
 	Skew float64
+
+	// Mix narrows the mixed-workload experiment to one preset ("oltp",
+	// "olap", "reporting", "timeseries"); empty runs all of them. Set by
+	// bfbench's -mix flag.
+	Mix string
 }
 
 // IndexBackend resolves the Index selection, defaulting to the BF-Tree.

@@ -17,8 +17,14 @@ type Record struct {
 	Backend    string `json:"backend"`
 	// Mode labels the scan-stream variant: "materialized", "stream", or
 	// "limit-k".
-	Mode    string `json:"mode,omitempty"`
+	Mode string `json:"mode,omitempty"`
+	// Preset and Dist label a mixed-workload cell: the workload.Mix
+	// preset name and the key distribution it ran under.
+	Preset  string `json:"preset,omitempty"`
+	Dist    string `json:"dist,omitempty"`
 	Workers int    `json:"workers,omitempty"`
+	// Ops is the measured operation count of a mixed-workload cell.
+	Ops int `json:"ops,omitempty"`
 	// Batch is the MultiSearch batch size (batched-probe) or the LIMIT k
 	// (scan-stream limit modes).
 	Batch      int     `json:"batch,omitempty"`
@@ -30,6 +36,9 @@ type Record struct {
 	// key — the two headline economies of the experiments.
 	PagesPerOp       float64 `json:"pages_per_op,omitempty"`
 	IndexReadsPerKey float64 `json:"index_reads_per_key,omitempty"`
+	// Moved reports a mixed-workload cell's capability redistribution
+	// ("-" when the backend ran the preset verbatim).
+	Moved string `json:"moved,omitempty"`
 }
 
 // WriteRecords writes records as an indented JSON array at dir/name.

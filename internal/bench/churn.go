@@ -3,14 +3,15 @@ package bench
 import (
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"bftree/index"
 	"bftree/internal/core"
 	"bftree/internal/device"
 	"bftree/internal/heapfile"
 	"bftree/internal/pagestore"
+	"bftree/internal/workload"
 )
 
 // The churn experiment drives the self-maintaining mode (DESIGN.md §4):
@@ -98,7 +99,10 @@ func churnFixture(n uint64) (*core.Tree, *heapfile.File, *pagestore.Store, *devi
 // ChurnRun performs the churn measurement: at least 4×SyntheticTuples
 // insert+delete operations (≥1M at the default scale) against an
 // auto-maintained tree, with concurrent readers, sampling drift and
-// limbo throughout.
+// limbo throughout. Both pools run through the shared Driver: writers
+// on deterministic per-worker quotas of delete+re-insert pairs, readers
+// in until-mode drawing seeded uniform probes for the whole writer
+// window.
 func ChurnRun(scale Scale) (*ChurnResult, error) {
 	n := scale.SyntheticTuples / 8
 	if n < 16384 {
@@ -114,13 +118,8 @@ func ChurnRun(scale Scale) (*ChurnResult, error) {
 	}
 
 	var (
-		ops      atomic.Uint64
 		maxFPP   atomic.Uint64 // float64 bits; positive floats order like uints
 		maxLimbo atomic.Int64
-		stop     = make(chan struct{})
-		wg       sync.WaitGroup
-		writerWg sync.WaitGroup
-		errs     = make([]error, churnWriters+churnReaders)
 	)
 	sampleFPP := func() {
 		bits := math.Float64bits(tr.EffectiveFPP())
@@ -141,91 +140,97 @@ func ChurnRun(scale Scale) (*ChurnResult, error) {
 		}
 	}
 
-	start := time.Now()
+	// Per-writer quota: pairs rounded up so the run totals at least
+	// target ops; each worker's quota is even, so every delete's
+	// re-insert lands in the same worker's budget.
+	pairsPerWriter := (target + 2*churnWriters - 1) / (2 * churnWriters)
+	totalOps := int(2 * pairsPerWriter * churnWriters)
 	span := n / uint64(churnWriters)
-	for w := 0; w < churnWriters; w++ {
-		wg.Add(1)
-		writerWg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer writerWg.Done()
+	refOf := func(k uint64) index.Ref { return index.Ref{Page: file.PageOf(k)} }
+
+	writerCfg := DriverConfig{
+		Workers: churnWriters,
+		Ops:     totalOps,
+		RefOf:   refOf,
+		// Delete then re-insert the same drawn key: with standard
+		// filters the delete accrues Section 7 drift and the re-insert
+		// is absorbed in place (the filter still claims it), so the
+		// workload is pure in-place churn plus the compactions it
+		// provokes. Keys come from each writer's seeded sub-stream over
+		// its private span partition.
+		Source: func(w int) func() workload.Op {
+			rng := workload.SubStream(scale.Seed, w)
 			lo := uint64(w) * span
-			i := uint64(0)
-			for ops.Load() < target {
-				k := lo + (i*131)%span
-				pid := file.PageOf(k)
-				// Delete then re-insert: with standard filters the
-				// delete accrues Section 7 drift and the re-insert is
-				// absorbed in place (the filter still claims it), so
-				// the workload is pure in-place churn plus the
-				// compactions it provokes.
-				if err := tr.Delete(k, pid); err != nil {
-					errs[w] = err
-					return
+			var pending uint64
+			havePending := false
+			return func() workload.Op {
+				if havePending {
+					havePending = false
+					return workload.Op{Kind: workload.OpInsert, Key: pending}
 				}
-				if err := tr.Insert(k, pid); err != nil {
-					errs[w] = err
-					return
-				}
-				ops.Add(2)
-				if i%256 == 0 {
-					sampleFPP()
-					sampleLimbo()
-				}
-				i++
+				pending = lo + rng.Uint64n(span)
+				havePending = true
+				return workload.Op{Kind: workload.OpDelete, Key: pending}
 			}
-		}(w)
-	}
-	for r := 0; r < churnReaders; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			i := 0
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				k := uint64(i*173+r*709) % n
-				if _, err := tr.SearchFirst(k); err != nil {
-					errs[churnWriters+r] = err
-					return
-				}
-				if i%64 == 0 {
-					sampleFPP()
-					sampleLimbo()
-				}
-				i++
+		},
+		OnOp: func(_, i int, _ workload.Op) {
+			if i%256 == 0 {
+				sampleFPP()
+				sampleLimbo()
 			}
-		}(r)
+		},
 	}
 
-	// Sample limbo until every writer has exited (target reached, or a
-	// writer error — waiting on the op counter alone would hang if all
-	// writers failed early), then release the readers.
 	writerDone := make(chan struct{})
-	go func() {
-		writerWg.Wait()
-		close(writerDone)
-	}()
-sampling:
-	for {
-		select {
-		case <-writerDone:
-			break sampling
-		case <-time.After(time.Millisecond):
-			sampleLimbo()
-		}
+	readerCfg := DriverConfig{
+		Workers:        churnReaders,
+		Until:          writerDone,
+		UseSearchFirst: true,
+		Source: func(r int) func() workload.Op {
+			rng := workload.SubStream(scale.Seed, churnWriters+r)
+			return func() workload.Op {
+				return workload.Op{Kind: workload.OpSearch, Key: rng.Uint64n(n)}
+			}
+		},
+		OnOp: func(_, i int, _ workload.Op) {
+			if i%64 == 0 {
+				sampleFPP()
+				sampleLimbo()
+			}
+		},
 	}
-	close(stop)
-	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			tr.Close()
-			return nil, err
+
+	start := time.Now()
+	readerErr := make(chan error, 1)
+	go func() {
+		_, err := Drive(coreTarget{tr}, readerCfg)
+		readerErr <- err
+	}()
+	// Sample limbo on a ticker until the writers exit — the epoch-driven
+	// reclamation the samples bound happens between writer ops too.
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-writerDone:
+				return
+			case <-time.After(time.Millisecond):
+				sampleLimbo()
+			}
 		}
+	}()
+	writerRes, werr := Drive(coreTarget{tr}, writerCfg)
+	close(writerDone)
+	<-samplerDone
+	rerr := <-readerErr
+	elapsed := time.Since(start)
+	if werr == nil {
+		werr = rerr
+	}
+	if werr != nil {
+		tr.Close()
+		return nil, werr
 	}
 	sampleFPP()
 
@@ -251,7 +256,7 @@ sampling:
 
 	return &ChurnResult{
 		Keys:        n,
-		Ops:         ops.Load(),
+		Ops:         uint64(writerRes.Ops),
 		Elapsed:     elapsed,
 		MaxFPP:      math.Float64frombits(maxFPP.Load()),
 		Threshold:   churnFPPThreshold,

@@ -2,13 +2,11 @@ package bench
 
 import (
 	"fmt"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"bftree/internal/core"
 	"bftree/internal/device"
+	"bftree/internal/workload"
 )
 
 // ConcurrentWorkerCounts is the worker sweep of the concurrent-probe
@@ -38,55 +36,41 @@ type ConcurrentResult struct {
 }
 
 // RunConcurrentProbes executes probes of keys against tr from the given
-// number of workers, returning aggregate wall-clock throughput and
-// per-probe latency quantiles. Workers claim probes from a shared
-// atomic cursor, so the load stays balanced regardless of per-key cost.
+// number of workers through the shared Driver: worker w probes its
+// deterministic quota slice of the key sequence, so the probed multiset
+// is identical at any worker count.
 func RunConcurrentProbes(tr *core.Tree, keys []uint64, workers, probes int) (*ConcurrentResult, error) {
 	if workers <= 0 || probes <= 0 || len(keys) == 0 {
 		return nil, fmt.Errorf("bench: concurrent probes need workers, probes and keys > 0 (got %d, %d, %d)",
 			workers, probes, len(keys))
 	}
-	latencies := make([]time.Duration, probes)
-	var cursor atomic.Int64
-	var errOnce sync.Once
-	var firstErr error
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= probes {
-					return
-				}
-				t0 := time.Now()
-				if _, err := tr.Search(keys[i%len(keys)]); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					return
-				}
-				latencies[i] = time.Since(t0)
+	quotas := opQuotas(probes, workers)
+	starts := make([]int, workers)
+	for w := 1; w < workers; w++ {
+		starts[w] = starts[w-1] + quotas[w-1]
+	}
+	res, err := Drive(coreTarget{tr}, DriverConfig{
+		Workers: workers,
+		Ops:     probes,
+		Source: func(w int) func() workload.Op {
+			i := starts[w]
+			return func() workload.Op {
+				op := workload.Op{Kind: workload.OpSearch, Key: keys[i%len(keys)]}
+				i++
+				return op
 			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	quantile := func(q float64) time.Duration {
-		i := int(q * float64(len(latencies)-1))
-		return latencies[i]
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &ConcurrentResult{
 		Workers:    workers,
-		Probes:     probes,
-		Elapsed:    elapsed,
-		Throughput: float64(probes) / elapsed.Seconds(),
-		P50:        quantile(0.50),
-		P99:        quantile(0.99),
+		Probes:     res.Ops,
+		Elapsed:    res.Elapsed,
+		Throughput: res.Throughput,
+		P50:        res.P50,
+		P99:        res.P99,
 	}, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"bftree/internal/device"
 	"bftree/internal/heapfile"
 	"bftree/internal/pagestore"
+	"bftree/internal/workload"
 )
 
 // MixedRWReaderCounts is the reader sweep of the mixed-rw experiment.
@@ -82,6 +83,9 @@ func mixedRWFixture(scale Scale) (*core.Tree, *heapfile.File, *pagestore.Store, 
 // relation and inserts them — forcing fresh leaves, capacity splits and
 // root growth through the copy-on-write path, concurrently with every
 // probe. Each row runs against a fresh tree so rows stay comparable.
+// The reader pool runs through the shared Driver (RunConcurrentProbes);
+// the background appender below is fixture machinery — it grows the
+// relation the readers race, and is not itself measured.
 func MixedRWSweep(scale Scale, readerCounts []int) ([]*MixedRWResult, error) {
 	probes := scale.Probes
 	if probes < 64 {
@@ -94,9 +98,12 @@ func MixedRWSweep(scale Scale, readerCounts []int) ([]*MixedRWResult, error) {
 			return nil, err
 		}
 		n := file.NumTuples()
+		// Probe keys come from the run seed's sub-stream, so the probed
+		// set is reproducible from -seed like every other driver input.
 		keys := make([]uint64, 512)
+		krng := workload.SubStream(scale.Seed, 0)
 		for i := range keys {
-			keys[i] = uint64(i) * 131 % n
+			keys[i] = krng.Uint64n(n)
 		}
 		leaves0 := tr.NumLeaves()
 		idxDev.SetRealLatency(mixedRWLatency)

@@ -2,13 +2,14 @@ package bench
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
+	"bftree/index"
 	"bftree/internal/core"
 	"bftree/internal/device"
 	"bftree/internal/heapfile"
 	"bftree/internal/pagestore"
+	"bftree/internal/workload"
 )
 
 // MultiWriterCounts is the writer sweep of the multi-writer experiment.
@@ -74,50 +75,37 @@ func multiWriterFixture(scale Scale) (*core.Tree, *heapfile.File, *device.Device
 	return tr, file, idxDev, dataDev, nil
 }
 
-// runMultiWriter measures aggregate wall-clock insert throughput for the
-// given writer count. keyFor maps (writer, op index) to the key each
-// writer re-inserts; re-inserting a present key at its own page is the
-// non-structural in-place rewrite of Algorithm 3, so the measurement
-// isolates the latched write path (no splits, no COW).
-func runMultiWriter(tr *core.Tree, file *heapfile.File, writers, ops int,
-	keyFor func(w, i int) uint64) (time.Duration, float64, error) {
-	perWriter := ops / writers
-	if perWriter < 1 {
-		perWriter = 1
-	}
-	errs := make([]error, writers)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < writers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < perWriter; i++ {
-				k := keyFor(w, i)
-				if err := tr.Insert(k, file.PageOf(k)); err != nil {
-					errs[w] = err
-					return
-				}
+// runMultiWriter measures aggregate wall-clock insert throughput for
+// the given writer count through the shared Driver. keyFor maps a
+// writer and its seeded sub-stream to the key that writer re-inserts;
+// re-inserting a present key at its own page is the non-structural
+// in-place rewrite of Algorithm 3, so the measurement isolates the
+// latched write path (no splits, no COW).
+func runMultiWriter(tr *core.Tree, file *heapfile.File, writers, ops int, seed int64,
+	keyFor func(w int, rng *workload.SplitMix64) uint64) (time.Duration, float64, error) {
+	res, err := Drive(coreTarget{tr}, DriverConfig{
+		Workers: writers,
+		Ops:     ops,
+		RefOf:   func(k uint64) index.Ref { return index.Ref{Page: file.PageOf(k)} },
+		Source: func(w int) func() workload.Op {
+			rng := workload.SubStream(seed, w)
+			return func() workload.Op {
+				return workload.Op{Kind: workload.OpInsert, Key: keyFor(w, rng)}
 			}
-		}(w)
+		},
+	})
+	if err != nil {
+		return 0, 0, err
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return 0, 0, err
-		}
-	}
-	total := perWriter * writers
-	return elapsed, float64(total) / elapsed.Seconds(), nil
+	return res.Elapsed, res.Throughput, nil
 }
 
 // MultiWriterSweep measures aggregate insert throughput at each writer
 // count, twice per row: writers partitioned over disjoint leaf regions
-// (each writer strides through its own contiguous slice of the
-// keyspace), and writers contending for one leaf (everyone re-inserts
-// keys from the same 64-key range). Each measurement runs against a
-// fresh tree so rows stay comparable.
+// (each writer draws from its own contiguous slice of the keyspace via
+// its seeded sub-stream), and writers contending for one leaf (everyone
+// re-inserts keys from the same 64-key range). Each measurement runs
+// against a fresh tree so rows stay comparable.
 func MultiWriterSweep(scale Scale, writerCounts []int) ([]*MultiWriterResult, error) {
 	var out []*MultiWriterResult
 	for _, writers := range writerCounts {
@@ -129,15 +117,15 @@ func MultiWriterSweep(scale Scale, writerCounts []int) ([]*MultiWriterResult, er
 			}
 			n := file.NumTuples()
 			chunk := n / uint64(writers)
-			keyFor := func(w, i int) uint64 {
+			keyFor := func(w int, rng *workload.SplitMix64) uint64 {
 				if contended {
-					return uint64(i*7) % 64 // one leaf for every writer
+					return rng.Uint64n(64) // one leaf for every writer
 				}
-				return uint64(w)*chunk + uint64(i*131)%chunk
+				return uint64(w)*chunk + rng.Uint64n(chunk)
 			}
 			idxDev.SetRealLatency(multiWriterLatency)
 			dataDev.SetRealLatency(multiWriterLatency)
-			elapsed, thr, err := runMultiWriter(tr, file, writers, multiWriterOps, keyFor)
+			elapsed, thr, err := runMultiWriter(tr, file, writers, multiWriterOps, scale.Seed, keyFor)
 			idxDev.SetRealLatency(0)
 			dataDev.SetRealLatency(0)
 			if err != nil {
@@ -175,7 +163,7 @@ func RunMultiWriter(scale Scale) (*Table, error) {
 			"contended wall", "contended ins/s", "speedup"},
 		Notes: []string{
 			"writers re-insert present keys in place (no structural changes); disjoint",
-			"rows stride writer-private keyspace slices, contended rows share one leaf.",
+			"rows draw from writer-private keyspace slices, contended rows share one leaf.",
 			"each page access blocks for the stated real latency outside all locks, so",
 			"disjoint speedup measures write-path concurrency, not host core count;",
 			"speedups are relative to the 1-writer row of the same column.",

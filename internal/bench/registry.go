@@ -39,6 +39,7 @@ var Experiments = map[string]Runner{
 	"scan-stream":      RunScanStream,
 	"batched-probe":    RunBatchedProbe,
 	"shard-scale":      RunShardScale,
+	"mixed-workload":   RunMixedWorkload,
 
 	"point-lookup": RunPointLookup,
 
@@ -47,6 +48,28 @@ var Experiments = map[string]Runner{
 	"ablation-parallel":    RunAblationParallelProbe,
 	"ablation-deletes":     RunAblationDeletes,
 	"ablation-buffer":      RunAblationBufferedInserts,
+}
+
+// experimentFlags declares which of the workload-shaping Scale knobs
+// (the optional bfbench flags) each experiment consumes. bfbench keys
+// its unused-flag validation on this: overriding -index for an
+// experiment that ignores it is an error, not a silent no-op.
+var experimentFlags = map[string][]string{
+	"table3":         {"index"},
+	"fig5a":          {"index"},
+	"fig8a":          {"index"},
+	"scan-stream":    {"index", "json"},
+	"batched-probe":  {"index", "json"},
+	"point-lookup":   {"index", "json"},
+	"shard-scale":    {"skew"},
+	"mixed-workload": {"index", "skew", "mix", "json"},
+}
+
+// ExperimentFlags returns the workload-shaping flags the named
+// experiment consumes ("index", "skew", "mix", "json"); experiments
+// absent from the table consume none.
+func ExperimentFlags(name string) []string {
+	return experimentFlags[name]
 }
 
 // ExperimentNames returns the registered ids in a stable order.

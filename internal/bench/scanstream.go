@@ -42,6 +42,9 @@ type ScanStreamResult struct {
 // latencyQuantiles sorts (destructively) and reads the p50/p99 of a
 // latency sample.
 func latencyQuantiles(lats []time.Duration) (p50, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	q := func(f float64) time.Duration { return lats[int(f*float64(len(lats)-1))] }
 	return q(0.50), q(0.99)

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"bftree/internal/core"
@@ -131,54 +130,37 @@ func shardAppendPlans(f *forest.Forest, file *heapfile.File) []*shardAppendPlan 
 }
 
 // runShardScale drives the fixed writer population through ops
-// structural appends, the i-th op targeting shard shardOrder[i]. Each
+// structural appends via the shared Driver: each writer draws target
+// shards from its seeded sub-stream (Zipfian over the shard ids, skew
+// ≤ 1 uniform) and executes the append through the Apply hook, so each
 // op's stall is wall time including the wait for the shard's append
-// mutex, so tail quantiles surface queueing, not just I/O cost.
+// mutex — tail quantiles surface queueing, not just I/O cost.
 func runShardScale(f *forest.Forest, plans []*shardAppendPlan, writers, ops int,
-	shardOrder []uint64) (time.Duration, float64, time.Duration, time.Duration, error) {
-	errs := make([]error, writers)
-	latSlices := make([][]time.Duration, writers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < writers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= ops {
-					return
-				}
-				p := plans[shardOrder[i]]
-				t0 := time.Now()
-				p.mu.Lock()
-				key, pid := p.nextKey, p.nextPid
-				p.nextKey++
-				p.nextPid += shardPidStride
-				err := f.Insert(key, pid)
-				p.mu.Unlock()
-				latSlices[w] = append(latSlices[w], time.Since(t0))
-				if err != nil {
-					errs[w] = err
-					return
-				}
+	skew float64, seed int64) (time.Duration, float64, time.Duration, time.Duration, error) {
+	res, err := Drive(f, DriverConfig{
+		Workers: writers,
+		Ops:     ops,
+		Source: func(w int) func() workload.Op {
+			ranks := workload.NewRanks(workload.DistZipf, skew, uint64(len(plans)), workload.SubStream(seed, w))
+			return func() workload.Op {
+				return workload.Op{Kind: workload.OpInsert, Key: ranks.Rank()}
 			}
-		}(w)
+		},
+		Apply: func(_ int, op workload.Op) error {
+			p := plans[op.Key]
+			p.mu.Lock()
+			key, pid := p.nextKey, p.nextPid
+			p.nextKey++
+			p.nextPid += shardPidStride
+			err := f.Insert(key, pid)
+			p.mu.Unlock()
+			return err
+		},
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return 0, 0, 0, 0, err
-		}
-	}
-	var lats []time.Duration
-	for _, s := range latSlices {
-		lats = append(lats, s...)
-	}
-	p50, p99 := latencyQuantiles(lats)
-	return elapsed, float64(ops) / elapsed.Seconds(), p50, p99, nil
+	return res.Elapsed, res.Throughput, res.P50, res.P99, nil
 }
 
 // ShardScaleSweep measures aggregate structural-insert throughput at
@@ -195,10 +177,9 @@ func ShardScaleSweep(scale Scale, shardCounts []int) ([]*ShardScaleResult, error
 		}
 		n := f.NumShards() // separators can collapse; use the real count
 		plans := shardAppendPlans(f, file)
-		shardOrder := workload.ZipfRanks(shardScaleOps, scale.Skew, uint64(n-1), scale.Seed)
 		idxDev.SetRealLatency(shardScaleLatency)
 		dataDev.SetRealLatency(shardScaleLatency)
-		elapsed, thr, p50, p99, err := runShardScale(f, plans, shardScaleWriters, shardScaleOps, shardOrder)
+		elapsed, thr, p50, p99, err := runShardScale(f, plans, shardScaleWriters, shardScaleOps, scale.Skew, scale.Seed)
 		idxDev.SetRealLatency(0)
 		dataDev.SetRealLatency(0)
 		closeErr := f.Close()

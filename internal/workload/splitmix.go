@@ -1,0 +1,62 @@
+package workload
+
+// SplitMix64 is the splitmix64 generator (Steele, Lea, Flood — "Fast
+// splittable pseudorandom number generators", OOPSLA'14): one 64-bit
+// word of state, one add and three xor-shift-multiply steps per draw.
+// Two properties make it the sub-stream source of the workload engine:
+// seeding is O(1) with no warm-up, and the output function avalanches,
+// so states derived from (seed, worker) pairs yield decorrelated
+// streams. Worker w of a run seeded with -seed draws from
+// SubStream(seed, w); the full operation sequence of every worker is
+// then reproducible at any worker count, with no shared state between
+// goroutines.
+//
+// SplitMix64 implements math/rand.Source64, so the stdlib's rand.New
+// and rand.NewZipf compose with a sub-stream directly.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator starting from state seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// SubStream derives worker w's deterministic sub-stream of a run seed.
+// The (seed, worker) pair is folded through one avalanche draw so
+// sub-streams of adjacent workers (and adjacent seeds) share no
+// low-entropy prefix.
+func SubStream(seed int64, worker int) *SplitMix64 {
+	d := NewSplitMix64(uint64(seed) ^ (uint64(worker)+1)*0x6a09e667f3bcc909)
+	return NewSplitMix64(d.Uint64())
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative 63-bit draw (rand.Source).
+func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed resets the generator state (rand.Source).
+func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64n returns a draw in [0, n); n of 0 returns 0. The modulo bias
+// is below 2^-40 for every domain the workloads use (key ranks, shard
+// ids), far under measurement noise.
+func (s *SplitMix64) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return s.Uint64() % n
+}
+
+// Float64 returns a draw in [0, 1) with 53 bits of precision.
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
