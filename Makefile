@@ -7,7 +7,7 @@ GO ?= go
 # under the race detector.
 RACE_PKGS := ./internal/core/... ./internal/pagestore/... ./internal/device/... ./internal/forest/...
 
-.PHONY: help build test race bench bench-json conformance forest mixed fmt fmt-fix vet ci clean
+.PHONY: help build test race bench bench-json conformance forest mixed compact fmt fmt-fix vet ci clean
 
 help:
 	@echo "BF-Tree — available targets:"
@@ -18,8 +18,9 @@ help:
 	@echo "  make conformance - cross-backend index API conformance suite"
 	@echo "  make forest   - forest race suite + concurrent conformance under -race"
 	@echo "  make mixed    - workload-engine driver tests (golden model + concurrency) under -race"
+	@echo "  make compact  - incremental-compaction gate: stall comparison + race test"
 	@echo "  make bench    - run every benchmark once (smoke) "
-	@echo "  make bench-json - regenerate BENCH_scan.json / BENCH_batch.json / BENCH_mixed.json"
+	@echo "  make bench-json - regenerate BENCH_scan.json / BENCH_batch.json / BENCH_mixed.json / BENCH_compact.json"
 	@echo "  make fmt      - fail if any file needs gofmt"
 	@echo "  make fmt-fix  - gofmt -w the tree"
 	@echo "  make vet      - go vet ./..."
@@ -53,6 +54,13 @@ mixed:
 	$(GO) test ./internal/workload/
 	$(GO) test -race -run 'TestDriver|TestMixedWorkload' ./internal/bench/
 
+# The incremental-compaction gate: the writer/maintainer race test
+# (drift accounting + page economy under -race) and the stall-comparison
+# smoke asserting incremental cuts the max writer stall vs full rebuild.
+compact:
+	$(GO) test -race -run 'TestIncrementalCompactionRace|TestIncrementalMaintainConverges' ./internal/core/
+	$(GO) test -run 'TestCompactionStall' ./internal/bench/
+
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
@@ -63,6 +71,7 @@ bench-json:
 	$(GO) run ./cmd/bfbench -exp batched-probe -tuples 30000 -probes 256 -json .
 	$(GO) run ./cmd/bfbench -exp point-lookup -index=each -tuples 30000 -probes 256 -json .
 	$(GO) run ./cmd/bfbench -exp mixed-workload -index=each -tuples 30000 -probes 256 -json .
+	$(GO) run ./cmd/bfbench -exp compaction-stall -tuples 30000 -json .
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -75,7 +84,7 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race conformance forest mixed bench
+ci: fmt vet build test race conformance forest mixed compact bench
 
 clean:
 	$(GO) clean -testcache

@@ -42,7 +42,12 @@
 // maintainer goroutine, woken by probe completions, drift-publishing
 // writers, and a periodic tick; call Close to drain it. The default
 // (MaintenanceManual) keeps maintenance inline and on demand
-// (Tree.Maintain); Tree.MaintenanceStats reports either way. See
+// (Tree.Maintain); Tree.MaintenanceStats reports either way.
+// Compaction is incremental when MaintenancePolicy.IncrementalBatch is
+// positive: each leaf tracks its own drift contribution and the
+// maintainer rewrites only the most-drifted leaves per pass, holding
+// the exclusive lock per bounded batch instead of for one whole-tree
+// Rebuild (Tree.CompactLeaves is the explicit entry point). See
 // DESIGN.md §4 for the maintenance contract.
 //
 // Package-level names are thin aliases over the implementation packages

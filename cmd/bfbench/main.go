@@ -15,6 +15,7 @@
 //	bfbench -exp shard-scale -skew 1.2 # sharded forest under skewed writers
 //	bfbench -exp mixed-workload -index=each -json .  # preset matrix, BENCH_mixed.json
 //	bfbench -exp mixed-workload -mix oltp -skew 1.4  # one preset, hotter zipf cells
+//	bfbench -exp compaction-stall -json .  # full vs incremental compaction, BENCH_compact.json
 //
 // The -index flag selects the registered backend the point-lookup
 // experiments probe (any name from the bftree/index registry); the

@@ -39,6 +39,19 @@ type Record struct {
 	// Moved reports a mixed-workload cell's capability redistribution
 	// ("-" when the backend ran the preset verbatim).
 	Moved string `json:"moved,omitempty"`
+	// MaxStallMS / TotalStallMS are the compaction-stall experiment's
+	// exclusive-lock hold times (milliseconds of wall clock): the
+	// longest single writer stall and the sum over the run.
+	MaxStallMS   float64 `json:"max_stall_ms,omitempty"`
+	TotalStallMS float64 `json:"total_stall_ms,omitempty"`
+	// Compactions / IncrementalPasses / LeavesCompacted count the
+	// whole-tree rebuilds, incremental maintenance passes, and leaves
+	// rewritten incrementally over a compaction-stall run.
+	Compactions       uint64 `json:"compactions,omitempty"`
+	IncrementalPasses uint64 `json:"incremental_passes,omitempty"`
+	LeavesCompacted   uint64 `json:"leaves_compacted,omitempty"`
+	// MaxFPP is the highest sampled effective false-positive rate.
+	MaxFPP float64 `json:"max_fpp,omitempty"`
 }
 
 // WriteRecords writes records as an indented JSON array at dir/name.

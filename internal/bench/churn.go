@@ -305,6 +305,11 @@ func RunChurn(scale Scale) (*Table, error) {
 		{"fpp threshold", fmt.Sprintf("%.3f", r.Threshold)},
 		{"max effective fpp", fmt.Sprintf("%.4f", r.MaxFPP)},
 		{"compactions", fmt.Sprint(r.Stats.Compactions)},
+		{"incremental passes", fmt.Sprint(r.Stats.IncrementalPasses)},
+		{"leaves compacted", fmt.Sprint(r.Stats.LeavesCompacted)},
+		{"compaction stall min", r.Stats.CompactionMinStall.Round(10 * time.Microsecond).String()},
+		{"compaction stall max", r.Stats.CompactionMaxStall.Round(10 * time.Microsecond).String()},
+		{"compaction stall total", r.Stats.CompactionTotalStall.Round(10 * time.Microsecond).String()},
 		{"maintenance passes", fmt.Sprint(r.Stats.Passes)},
 		{"pages reclaimed", fmt.Sprint(r.Stats.PagesReclaimed)},
 		{"max limbo pages", fmt.Sprint(r.MaxLimbo)},

@@ -40,6 +40,7 @@ var Experiments = map[string]Runner{
 	"batched-probe":    RunBatchedProbe,
 	"shard-scale":      RunShardScale,
 	"mixed-workload":   RunMixedWorkload,
+	"compaction-stall": RunCompactionStall,
 
 	"point-lookup": RunPointLookup,
 
@@ -55,14 +56,15 @@ var Experiments = map[string]Runner{
 // its unused-flag validation on this: overriding -index for an
 // experiment that ignores it is an error, not a silent no-op.
 var experimentFlags = map[string][]string{
-	"table3":         {"index"},
-	"fig5a":          {"index"},
-	"fig8a":          {"index"},
-	"scan-stream":    {"index", "json"},
-	"batched-probe":  {"index", "json"},
-	"point-lookup":   {"index", "json"},
-	"shard-scale":    {"skew"},
-	"mixed-workload": {"index", "skew", "mix", "json"},
+	"table3":           {"index"},
+	"fig5a":            {"index"},
+	"fig8a":            {"index"},
+	"scan-stream":      {"index", "json"},
+	"batched-probe":    {"index", "json"},
+	"point-lookup":     {"index", "json"},
+	"shard-scale":      {"skew"},
+	"mixed-workload":   {"index", "skew", "mix", "json"},
+	"compaction-stall": {"json"},
 }
 
 // ExperimentFlags returns the workload-shaping flags the named

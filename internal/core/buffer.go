@@ -205,6 +205,9 @@ func (b *BufferedInserter) flushGroupLatched(batch []pendingInsert) (int, error)
 	if n == 0 {
 		return 0, nil
 	}
+	// The group's new keys are drift charged to this leaf, in the same
+	// image write that records them (the per-leaf accounting invariant).
+	leaf.driftIns += uint32(newKeys)
 	// The group's entries are applied only in memory until the leaf
 	// write lands; count nothing before then.
 	if err := t.writeLeaf(leafPid, leaf); err != nil {

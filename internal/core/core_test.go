@@ -66,12 +66,12 @@ func TestGeometryEquation5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// (4096-55)*8 = 32328 bits; Equation 5: keys = -bits·ln²2/ln(0.01).
-	if geo.FilterBits != 32328 {
-		t.Errorf("filter bits = %d, want 32328", geo.FilterBits)
+	// (4096-63)*8 = 32264 bits; Equation 5: keys = -bits·ln²2/ln(0.01).
+	if geo.FilterBits != 32264 {
+		t.Errorf("filter bits = %d, want 32264", geo.FilterBits)
 	}
 	if geo.KeysPerLeaf < 3300 || geo.KeysPerLeaf > 3400 {
-		t.Errorf("keys per leaf = %d, want ≈3372 (Equation 5)", geo.KeysPerLeaf)
+		t.Errorf("keys per leaf = %d, want ≈3365 (Equation 5)", geo.KeysPerLeaf)
 	}
 	// Counting filters spend 4 bits per position → 4x fewer keys.
 	oc, _ := Options{FPP: 0.01, Filter: CountingFilter}.withDefaults()

@@ -250,6 +250,9 @@ func (t *Tree) insertLatched(key uint64, pid device.PageID) (done bool, err erro
 	if !applied {
 		return false, nil
 	}
+	if isNew {
+		leaf.driftIns++
+	}
 	if err := t.writeLeaf(leafPid, leaf); err != nil {
 		return true, err
 	}
@@ -294,6 +297,9 @@ func (t *Tree) insertLocked(key uint64, pid device.PageID) error {
 		}
 		// Re-descend: the key now routes to one of the halves.
 		return t.insertLocked(key, pid)
+	}
+	if isNew {
+		leaf.driftIns++
 	}
 	if err := t.writeLeaf(leafPid, leaf); err != nil {
 		return err
@@ -357,14 +363,23 @@ func (t *Tree) delete(key uint64, pid device.PageID) error {
 	for key >= leaf.minKey && key <= leaf.maxKey {
 		if pid >= leaf.minPid && pid <= leaf.maxPid {
 			if counting {
-				r, err := t.deleteLatched(key, pid, leafPid)
+				// Only the first successful removal carries the drift
+				// charge: one published global decrement is attributed to
+				// exactly one leaf (the per-leaf accounting invariant).
+				r, err := t.deleteLatched(key, pid, leafPid, !removed)
 				if err != nil {
 					return err
 				}
 				removed = removed || r
-			} else if leaf.probeOne(leaf.bfIndexOf(pid), key) {
+			} else if !removed && leaf.probeOne(leaf.bfIndexOf(pid), key) {
 				// Standard filters cannot clear bits; the association is
-				// claimed, so the logical delete counts toward drift.
+				// claimed, so the logical delete counts toward drift —
+				// charged to this first claiming leaf, under its latch,
+				// so the per-leaf counters stay in sync with the global
+				// ones a partial rebuild will decrement.
+				if err := t.chargeDeleteLatched(leafPid); err != nil {
+					return err
+				}
 				removed = true
 			}
 		}
@@ -396,8 +411,11 @@ func (t *Tree) delete(key uint64, pid device.PageID) error {
 // re-checking coverage. It reports whether an association was removed.
 // The leaf's distinct-key count drops only when removeKey reports the
 // key's last association gone — a key still claimed on other pages of
-// the leaf keeps its slot in the Equation 5 capacity check.
-func (t *Tree) deleteLatched(key uint64, pid device.PageID, leafPid device.PageID) (bool, error) {
+// the leaf keeps its slot in the Equation 5 capacity check. With
+// chargeDrift set, a successful removal also records one unit of delete
+// drift on the leaf, matching the single global decrement the caller
+// publishes.
+func (t *Tree) deleteLatched(key uint64, pid device.PageID, leafPid device.PageID, chargeDrift bool) (bool, error) {
 	mu := t.latches.lock(leafPid)
 	defer mu.Unlock()
 	var stats ProbeStats
@@ -418,10 +436,33 @@ func (t *Tree) deleteLatched(key uint64, pid device.PageID, leafPid device.PageI
 	if lastGone && leaf.numKeys > 0 {
 		leaf.numKeys--
 	}
+	if chargeDrift {
+		leaf.driftDel++
+	}
 	if err := t.writeLeaf(leafPid, leaf); err != nil {
 		return false, err
 	}
 	return true, nil
+}
+
+// chargeDeleteLatched records one unit of delete drift on the leaf at
+// leafPid — the standard-filter logical-delete counterpart of
+// deleteLatched's chargeDrift. Standard filters cannot clear bits, so
+// the leaf's content is untouched; only the drift counter moves, under
+// the leaf's latch and re-read like any latched rewrite, so no racing
+// writer's increment is lost. A claim observed by the caller cannot
+// vanish before the latch is held: standard filters never clear bits
+// and compaction needs the exclusive lock the caller's RLock excludes.
+func (t *Tree) chargeDeleteLatched(leafPid device.PageID) error {
+	mu := t.latches.lock(leafPid)
+	defer mu.Unlock()
+	var stats ProbeStats
+	leaf, err := t.readLeaf(leafPid, &stats)
+	if err != nil {
+		return err
+	}
+	leaf.driftDel++
+	return t.writeLeaf(leafPid, leaf)
 }
 
 // appendLeaf grows the tree at its right edge: a new leaf covering the
@@ -444,6 +485,7 @@ func (t *Tree) appendLeaf(key uint64, pid device.PageID, lastLeaf *bfLeaf, lastP
 	nl.minKey = key
 	nl.maxKey = key
 	nl.numKeys = 1
+	nl.driftIns = 1 // the appended key is post-build drift, charged here
 	newPid := t.store.Allocate(1)
 	nl.next = lastLeaf.next // InvalidPage: this is the new tail
 	if err := t.writeLeaf(newPid, nl); err != nil {
@@ -503,13 +545,33 @@ func (t *Tree) splitLeaf(leaf *bfLeaf, leafPid device.PageID, path []frame) erro
 	// covering the whole uint64 domain, which would select enumeration
 	// with span 0; the minus-one form is overflow-safe and still sends
 	// wide leaves to the exact rebuild.
-	if leaf.maxKey-leaf.minKey >= splitEnumLimit {
+	exact := leaf.maxKey-leaf.minKey >= splitEnumLimit
+	if exact {
 		left, right, err = t.splitByRebuild(leaf)
 	} else {
 		left, right, err = t.splitByProbe(leaf)
 	}
 	if err != nil {
 		return err
+	}
+	// Drift accounting across the split. A probe-based split carries the
+	// old filters' state (false positives and all) into the halves, so
+	// the leaf's drift contribution survives and is transferred to them —
+	// the exact split point of each unit is unknowable, so it is divided,
+	// preserving the sum. An exact rebuild re-derives the halves from the
+	// data pages: the absorbed inserts become build-time content and the
+	// logical deletes are resurrected, so the old leaf's contribution is
+	// shed from the global counters instead — the same decrement rule as
+	// incremental compaction (CompactLeaves), of which this is the
+	// one-leaf special case.
+	var shedIns, shedDel uint64
+	if exact {
+		shedIns, shedDel = uint64(leaf.driftIns), uint64(leaf.driftDel)
+	} else {
+		left.driftIns = leaf.driftIns / 2
+		right.driftIns = leaf.driftIns - left.driftIns
+		left.driftDel = leaf.driftDel / 2
+		right.driftDel = leaf.driftDel - left.driftDel
 	}
 
 	leftPid := t.store.Allocate(1)
@@ -567,6 +629,8 @@ func (t *Tree) splitLeaf(leaf *bfLeaf, leafPid device.PageID, path []frame) erro
 		if m.firstLeaf == leafPid {
 			m.firstLeaf = leftPid
 		}
+		m.inserts -= min(m.inserts, shedIns)
+		m.deletes -= min(m.deletes, shedDel)
 	})
 	t.retire(leafPid)
 	t.retire(retired...)

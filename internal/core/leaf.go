@@ -30,13 +30,23 @@ const (
 //	byte 48     filter kind
 //	bytes 49-50 granularity (uint16, data pages per filter)
 //	bytes 51-54 positions per filter (uint32)
-//	bytes 55+   S packed filter arrays
-const leafHeaderSize = 55
+//	bytes 55-58 drift inserts (uint32, keys absorbed since build/compaction)
+//	bytes 59-62 drift deletes (uint32, associations deleted since build/compaction)
+//	bytes 63+   S packed filter arrays
+const leafHeaderSize = 63
 
 // bfLeaf is the in-memory form of a BF-leaf (Section 4.1): a page range,
 // a key range, the indexed-key count that guards the fpp, the next-leaf
 // pointer for range scans, and S Bloom filters each covering granularity
 // consecutive data pages.
+//
+// driftIns and driftDel are this leaf's contribution to the tree-wide
+// Equation 14 drift counters (treeMeta.inserts/deletes): every published
+// global increment is charged to exactly one leaf, under that leaf's
+// latch, in the same page write that records the mutation itself — so
+// sum(leaf drift) == global drift at quiescence, which is what lets a
+// partial rebuild (CompactLeaves) decrement the global counters by
+// exactly the compacted leaves' contributions.
 type bfLeaf struct {
 	minPid, maxPid device.PageID
 	minKey, maxKey uint64
@@ -46,6 +56,8 @@ type bfLeaf struct {
 	kind           FilterKind
 	granularity    int
 	posPerBF       uint64
+	driftIns       uint32
+	driftDel       uint32
 
 	std []*bloom.Filter         // kind == StandardFilter
 	cnt []*bloom.CountingFilter // kind == CountingFilter
@@ -232,6 +244,8 @@ func encodeBFLeaf(buf []byte, l *bfLeaf) error {
 	buf[48] = byte(l.kind)
 	binary.LittleEndian.PutUint16(buf[49:51], uint16(l.granularity))
 	binary.LittleEndian.PutUint32(buf[51:55], uint32(l.posPerBF))
+	binary.LittleEndian.PutUint32(buf[55:59], l.driftIns)
+	binary.LittleEndian.PutUint32(buf[59:63], l.driftDel)
 	off := leafHeaderSize
 	fb := filterBytes(l.kind, l.posPerBF)
 	for i := 0; i < s; i++ {
@@ -275,6 +289,8 @@ func decodeBFLeaf(buf []byte) (*bfLeaf, error) {
 		kind:        FilterKind(buf[48]),
 		granularity: int(binary.LittleEndian.Uint16(buf[49:51])),
 		posPerBF:    uint64(binary.LittleEndian.Uint32(buf[51:55])),
+		driftIns:    binary.LittleEndian.Uint32(buf[55:59]),
+		driftDel:    binary.LittleEndian.Uint32(buf[59:63]),
 	}
 	if l.granularity < 1 || l.hashes < 1 {
 		return nil, fmt.Errorf("%w: BF-leaf header granularity=%d hashes=%d", ErrCorrupt, l.granularity, l.hashes)

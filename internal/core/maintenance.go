@@ -41,10 +41,29 @@ type MaintenanceStats struct {
 	// PagesReclaimed counts limbo pages returned to the store's free list
 	// by maintenance passes.
 	PagesReclaimed uint64
-	// Compactions counts drift-triggered Rebuilds that succeeded;
-	// CompactionFailures counts ones that returned an error.
+	// Compactions counts drift-triggered whole-tree Rebuilds that
+	// succeeded; CompactionFailures counts compactions (full or
+	// incremental) that returned an error.
 	Compactions        uint64
 	CompactionFailures uint64
+
+	// IncrementalPasses counts maintenance passes that compacted a
+	// top-drifted leaf subset instead of rebuilding the whole tree
+	// (MaintenancePolicy.IncrementalBatch > 0); LeavesCompacted counts
+	// the leaves those passes (and explicit CompactLeaves calls)
+	// rewrote.
+	IncrementalPasses uint64
+	LeavesCompacted   uint64
+
+	// CompactionMinStall / CompactionMaxStall / CompactionTotalStall
+	// aggregate the exclusive-lock hold of every compaction (one
+	// whole-tree rebuild, or one bounded incremental batch including
+	// its ranking walk). CompactionMaxStall is the longest single
+	// writer stall any compaction caused — the headline number the
+	// incremental path exists to shrink.
+	CompactionMinStall   time.Duration
+	CompactionMaxStall   time.Duration
+	CompactionTotalStall time.Duration
 
 	// ProbeWakeups counts maintainer nudges armed by the
 	// probe-completion epoch-exit hook (at most one per maintenance
@@ -75,6 +94,11 @@ type maintStats struct {
 	pagesReclaimed     atomic.Uint64
 	compactions        atomic.Uint64
 	compactionFailures atomic.Uint64
+	incrementalPasses  atomic.Uint64
+	leavesCompacted    atomic.Uint64
+	stallMinNS         atomic.Int64 // 0 = no compaction recorded yet
+	stallMaxNS         atomic.Int64
+	stallTotalNS       atomic.Int64
 	probeWakeups       atomic.Uint64
 	structuralRequests atomic.Uint64
 	driftWakeups       atomic.Uint64
@@ -82,6 +106,30 @@ type maintStats struct {
 	lockMisses         atomic.Uint64
 	forcedLocks        atomic.Uint64
 	lastFPPBits        atomic.Uint64
+}
+
+// recordCompactionStall folds one compaction's exclusive-lock hold into
+// the min/max/total stall aggregates. CAS loops, not locks: the
+// recorder may race MaintenanceStats snapshots, never another recorder
+// of consequence (compactions run under the exclusive writeMu).
+func (s *maintStats) recordCompactionStall(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1 // a sub-nanosecond hold still counts as a recorded stall
+	}
+	s.stallTotalNS.Add(ns)
+	for {
+		cur := s.stallMaxNS.Load()
+		if ns <= cur || s.stallMaxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := s.stallMinNS.Load()
+		if (cur != 0 && ns >= cur) || s.stallMinNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
 }
 
 // maintainer is the background goroutine driving the maintenance layer.
@@ -296,7 +344,8 @@ func (m *maintainer) pass() {
 	// cooldown instead — without it, unactionable drift would turn
 	// every wakeup into a blocking lock hold for another doomed
 	// bulk-load scan.
-	if err := t.maintainLocked(m.driftActionable()); err != nil {
+	more, err := t.maintainLocked(m.driftActionable())
+	if err != nil {
 		backoff := compactionBackoffIntervals * t.opts.Maintenance.ReclaimInterval
 		m.failedUntil.Store(time.Now().Add(backoff).UnixNano())
 	}
@@ -309,6 +358,15 @@ func (m *maintainer) pass() {
 	m.lastFresh = fresh
 	m.rearmDriftCheck()
 	t.writeMu.Unlock()
+	// An incremental batch that left drift past the threshold queues the
+	// next batch — after the unlock, so latched writers get their window.
+	// Progress is guaranteed (each pass sheds the current top-drifted
+	// leaves), so this converges unless writers re-earn drift as fast as
+	// it is shed, in which case back-to-back bounded batches are exactly
+	// the intended behavior.
+	if more {
+		m.notify()
+	}
 }
 
 // driftNeedsCompaction reports whether the Equation 14 drift estimate
@@ -330,11 +388,22 @@ func (t *Tree) driftNeedsCompaction() bool {
 // maintainLocked runs one maintenance pass under the exclusive writer
 // lock: reclaim what the epoch scheme allows, compact if allowed and
 // drift crossed the threshold, then reclaim again (a compaction retires
-// the whole old tree, and with quiescent readers the second flip frees
-// the previous batch immediately). allowCompact lets the maintainer
-// skip compaction during its failure cooldown; explicit Maintain calls
+// old pages, and with quiescent readers the second flip frees the
+// previous batch immediately). allowCompact lets the maintainer skip
+// compaction during its failure cooldown; explicit Maintain calls
 // always pass true, since their caller sees the error directly.
-func (t *Tree) maintainLocked(allowCompact bool) error {
+//
+// With MaintenancePolicy.IncrementalBatch > 0 the compaction step
+// rewrites only the top-drifted k leaves (compactIncrementalLocked)
+// instead of the whole tree, bounding the lock hold; when drift is
+// still past the threshold afterwards the pass reports more=true so the
+// caller schedules another batch *after releasing the lock*, giving
+// latched writers a window between batches — that release is the whole
+// point of the incremental path. A batch that finds no attributable
+// leaf drift while the estimate is past the threshold (pathological:
+// counters desynced by a half-failed structural change) falls back to
+// the whole-tree rebuild, which resets everything.
+func (t *Tree) maintainLocked(allowCompact bool) (more bool, err error) {
 	st := &t.maintStats
 	st.passes.Add(1)
 	if n := t.reclaim(); n > 0 {
@@ -342,14 +411,34 @@ func (t *Tree) maintainLocked(allowCompact bool) error {
 	}
 	fpp := t.EffectiveFPP()
 	st.lastFPPBits.Store(math.Float64bits(fpp))
-	var err error
 	if allowCompact && t.driftNeedsCompaction() {
-		if err = t.rebuildLocked(); err != nil {
+		batch := t.opts.Maintenance.IncrementalBatch
+		begin := time.Now()
+		full := batch <= 0
+		var compacted int
+		if !full {
+			compacted, err = t.compactIncrementalLocked(batch)
+			if err == nil && compacted == 0 {
+				full = true
+			}
+		}
+		if full && err == nil {
+			err = t.rebuildLocked()
+		}
+		stall := time.Since(begin)
+		if err != nil {
 			st.compactionFailures.Add(1)
 		} else {
-			st.compactions.Add(1)
+			if full {
+				st.compactions.Add(1)
+			} else {
+				st.incrementalPasses.Add(1)
+				st.leavesCompacted.Add(uint64(compacted))
+				more = t.driftNeedsCompaction()
+			}
+			st.recordCompactionStall(stall)
 			st.lastFPPBits.Store(math.Float64bits(t.EffectiveFPP()))
-			// The compaction reset the drift counters, so a live
+			// The compaction moved the drift counters, so a live
 			// maintainer's crossing bound no longer describes the new
 			// snapshot. Re-derive it here — not only in the maintainer's
 			// own pass — or an explicit Maintain would leave a stale
@@ -362,7 +451,7 @@ func (t *Tree) maintainLocked(allowCompact bool) error {
 	if n := t.reclaim(); n > 0 {
 		st.pagesReclaimed.Add(uint64(n))
 	}
-	return err
+	return more, err
 }
 
 // maintRequest is how foreground structural writers (split, append,
@@ -471,16 +560,25 @@ func (t *Tree) Close() error {
 	return nil
 }
 
-// Maintain runs one synchronous maintenance pass: reclaim whatever the
-// epoch scheme allows and compact if the drift threshold is crossed.
-// It is the manual-mode counterpart of the background maintainer and
-// works in every mode (an explicit call is manual by definition); it
-// blocks for the exclusive writer lock, like any structural change.
-// The error, if any, is the compaction's.
+// Maintain runs synchronous maintenance to completion: reclaim whatever
+// the epoch scheme allows and compact if the drift threshold is
+// crossed. It is the manual-mode counterpart of the background
+// maintainer and works in every mode (an explicit call is manual by
+// definition); it blocks for the exclusive writer lock, like any
+// structural change. Under an incremental policy it runs bounded
+// batches back to back — releasing the lock between them, like the
+// maintainer — until drift is below the threshold; each batch makes
+// progress, so the loop terminates. The error, if any, is the
+// compaction's.
 func (t *Tree) Maintain() error {
-	t.writeMu.Lock()
-	defer t.writeMu.Unlock()
-	return t.maintainLocked(true)
+	for {
+		t.writeMu.Lock()
+		more, err := t.maintainLocked(true)
+		t.writeMu.Unlock()
+		if err != nil || !more {
+			return err
+		}
+	}
 }
 
 // MaintenanceStats returns a snapshot of the maintenance layer's
@@ -488,18 +586,23 @@ func (t *Tree) Maintain() error {
 func (t *Tree) MaintenanceStats() MaintenanceStats {
 	st := &t.maintStats
 	return MaintenanceStats{
-		Running:            t.maint.Load() != nil,
-		LimboPages:         int(t.limboLen.Load()),
-		EffectiveFPP:       math.Float64frombits(st.lastFPPBits.Load()),
-		Passes:             st.passes.Load(),
-		PagesReclaimed:     st.pagesReclaimed.Load(),
-		Compactions:        st.compactions.Load(),
-		CompactionFailures: st.compactionFailures.Load(),
-		ProbeWakeups:       st.probeWakeups.Load(),
-		StructuralRequests: st.structuralRequests.Load(),
-		DriftWakeups:       st.driftWakeups.Load(),
-		TimerWakeups:       st.timerWakeups.Load(),
-		LockMisses:         st.lockMisses.Load(),
-		ForcedLocks:        st.forcedLocks.Load(),
+		Running:              t.maint.Load() != nil,
+		LimboPages:           int(t.limboLen.Load()),
+		EffectiveFPP:         math.Float64frombits(st.lastFPPBits.Load()),
+		Passes:               st.passes.Load(),
+		PagesReclaimed:       st.pagesReclaimed.Load(),
+		Compactions:          st.compactions.Load(),
+		CompactionFailures:   st.compactionFailures.Load(),
+		IncrementalPasses:    st.incrementalPasses.Load(),
+		LeavesCompacted:      st.leavesCompacted.Load(),
+		CompactionMinStall:   time.Duration(st.stallMinNS.Load()),
+		CompactionMaxStall:   time.Duration(st.stallMaxNS.Load()),
+		CompactionTotalStall: time.Duration(st.stallTotalNS.Load()),
+		ProbeWakeups:         st.probeWakeups.Load(),
+		StructuralRequests:   st.structuralRequests.Load(),
+		DriftWakeups:         st.driftWakeups.Load(),
+		TimerWakeups:         st.timerWakeups.Load(),
+		LockMisses:           st.lockMisses.Load(),
+		ForcedLocks:          st.forcedLocks.Load(),
 	}
 }

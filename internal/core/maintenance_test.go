@@ -64,6 +64,7 @@ func TestMaintenancePolicyDefaults(t *testing.T) {
 		{FPP: 0.01, Maintenance: MaintenancePolicy{FPPThreshold: math.NaN()}}, // would silently disable compaction
 		{FPP: 0.01, Maintenance: MaintenancePolicy{ReclaimInterval: -time.Second}},
 		{FPP: 0.01, Maintenance: MaintenancePolicy{LimboHighWater: -1}},
+		{FPP: 0.01, Maintenance: MaintenancePolicy{IncrementalBatch: -1}},
 	}
 	for i, o := range bad {
 		if _, err := o.withDefaults(); !errors.Is(err, ErrOptions) {
@@ -78,10 +79,11 @@ func TestMaintenancePolicyDefaults(t *testing.T) {
 func TestMaintenancePolicyRoundTrip(t *testing.T) {
 	fx := newFixture(t, 5000, 11)
 	tr := fx.build(t, 0, Options{FPP: 1e-3, Maintenance: MaintenancePolicy{
-		Mode:            MaintenanceManual,
-		FPPThreshold:    0.25,
-		ReclaimInterval: 42 * time.Millisecond,
-		LimboHighWater:  7,
+		Mode:             MaintenanceManual,
+		FPPThreshold:     0.25,
+		ReclaimInterval:  42 * time.Millisecond,
+		LimboHighWater:   7,
+		IncrementalBatch: 5,
 	}})
 	meta := tr.MarshalMeta()
 	back, err := Open(fx.idxStore, fx.file, meta)
@@ -106,6 +108,19 @@ func TestMaintenancePolicyRoundTrip(t *testing.T) {
 	// opening it would silently revert a tuned policy to defaults.
 	if _, err := Open(fx.idxStore, fx.file, meta[:100]); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("truncated policy extension accepted: %v", err)
+	}
+	// A 107-byte blob predates the incremental-compaction extension:
+	// it opens with the legacy whole-tree compaction (batch 0)...
+	prev, err := Open(fx.idxStore, fx.file, meta[:107])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prev.Options().Maintenance.IncrementalBatch; got != 0 {
+		t.Errorf("pre-extension blob batch = %d, want 0 (full rebuild)", got)
+	}
+	// ...while a torn batch field is corruption, same rule as above.
+	if _, err := Open(fx.idxStore, fx.file, meta[:109]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated incremental extension accepted: %v", err)
 	}
 }
 

@@ -95,6 +95,13 @@ type MaintenancePolicy struct {
 	// escalates from polite lock acquisition (TryLock, which never
 	// stalls latched writers) to one blocking acquire. 0 selects 512.
 	LimboHighWater int
+	// IncrementalBatch, when positive, makes drift compaction
+	// incremental: each maintenance pass rewrites only the
+	// IncrementalBatch most-drifted leaves (tracked per leaf) under the
+	// exclusive lock, releasing it between batches, instead of
+	// rebuilding the whole tree in one stall. 0 keeps the legacy
+	// whole-tree Rebuild. See DESIGN.md §4 and Tree.CompactLeaves.
+	IncrementalBatch int
 }
 
 // withDefaults fills zero values and validates against the design fpp.
@@ -134,6 +141,14 @@ func (p MaintenancePolicy) withDefaults(fpp float64) (MaintenancePolicy, error) 
 	// branch is simply unreachable.
 	if maxHW := uint64(math.MaxUint32); uint64(p.LimboHighWater) > maxHW {
 		p.LimboHighWater = int(maxHW)
+	}
+	if p.IncrementalBatch < 0 {
+		return p, fmt.Errorf("%w: incremental batch %d", ErrOptions, p.IncrementalBatch)
+	}
+	// Same uint32 persistence clamp as the high-water mark; a batch this
+	// large is indistinguishable from "the whole tree per pass" anyway.
+	if maxB := uint64(math.MaxUint32); uint64(p.IncrementalBatch) > maxB {
+		p.IncrementalBatch = int(maxB)
 	}
 	return p, nil
 }

@@ -37,9 +37,15 @@ import (
 //	bytes 87-94 fpp compaction threshold (float64 bits)
 //	bytes 95-102 reclaim interval (int64 nanoseconds)
 //	bytes 103-106 limbo high water (uint32)
+//
+// A second extension carries the incremental-compaction batch; 107-byte
+// blobs from before it still open, defaulting to whole-tree compaction:
+//
+//	bytes 107-110 incremental compaction batch (uint32, 0 = full rebuild)
 const (
 	metaSize      = 86
 	metaMaintSize = 107
+	metaIncrSize  = 111
 )
 
 var metaMagic = [4]byte{'B', 'F', 'T', '1'}
@@ -50,7 +56,7 @@ var metaMagic = [4]byte{'B', 'F', 'T', '1'}
 // makes reopening free.
 func (t *Tree) MarshalMeta() []byte {
 	m := t.loadMeta()
-	buf := make([]byte, metaMaintSize)
+	buf := make([]byte, metaIncrSize)
 	copy(buf[0:4], metaMagic[:])
 	binary.LittleEndian.PutUint64(buf[4:12], math.Float64bits(t.opts.FPP))
 	binary.LittleEndian.PutUint32(buf[12:16], uint32(t.opts.Granularity))
@@ -73,6 +79,7 @@ func (t *Tree) MarshalMeta() []byte {
 	binary.LittleEndian.PutUint64(buf[87:95], math.Float64bits(mp.FPPThreshold))
 	binary.LittleEndian.PutUint64(buf[95:103], uint64(mp.ReclaimInterval.Nanoseconds()))
 	binary.LittleEndian.PutUint32(buf[103:107], uint32(mp.LimboHighWater))
+	binary.LittleEndian.PutUint32(buf[107:111], uint32(mp.IncrementalBatch))
 	return buf
 }
 
@@ -107,6 +114,13 @@ func open(store *pagestore.Store, file *heapfile.File, meta []byte, part *Partit
 		return nil, fmt.Errorf("%w: metadata is %d bytes, want %d or %d",
 			ErrCorrupt, len(meta), metaSize, metaMaintSize)
 	}
+	if len(meta) > metaMaintSize && len(meta) < metaIncrSize {
+		// Same torn-extension rule for the incremental-compaction field:
+		// exactly 107 bytes is the previous version, anything between is
+		// a truncated write.
+		return nil, fmt.Errorf("%w: metadata is %d bytes, want %d or %d",
+			ErrCorrupt, len(meta), metaMaintSize, metaIncrSize)
+	}
 	if len(meta) >= metaMaintSize {
 		// Clamp the high-water mark to the platform int so a blob
 		// written on a 64-bit host reopens on 32-bit instead of going
@@ -121,6 +135,14 @@ func open(store *pagestore.Store, file *heapfile.File, meta []byte, part *Partit
 			ReclaimInterval: time.Duration(binary.LittleEndian.Uint64(meta[95:103])),
 			LimboHighWater:  int(hw),
 		}
+	}
+	if len(meta) >= metaIncrSize {
+		// Same 32-bit clamp as the high-water mark.
+		ib := uint64(binary.LittleEndian.Uint32(meta[107:111]))
+		if ib > math.MaxInt {
+			ib = math.MaxInt
+		}
+		opts.Maintenance.IncrementalBatch = int(ib)
 	}
 	o, err := opts.withDefaults()
 	if err != nil {

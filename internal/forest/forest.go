@@ -333,6 +333,19 @@ func (f *Forest) MaintenanceStats() core.MaintenanceStats {
 		agg.PagesReclaimed += s.PagesReclaimed
 		agg.Compactions += s.Compactions
 		agg.CompactionFailures += s.CompactionFailures
+		agg.IncrementalPasses += s.IncrementalPasses
+		agg.LeavesCompacted += s.LeavesCompacted
+		// Stall durations aggregate like the per-tree recorder: the max is
+		// the worst single writer stall any shard caused, the min the
+		// shortest recorded (zero shards excluded), the total the sum.
+		if s.CompactionMaxStall > agg.CompactionMaxStall {
+			agg.CompactionMaxStall = s.CompactionMaxStall
+		}
+		if s.CompactionMinStall > 0 &&
+			(agg.CompactionMinStall == 0 || s.CompactionMinStall < agg.CompactionMinStall) {
+			agg.CompactionMinStall = s.CompactionMinStall
+		}
+		agg.CompactionTotalStall += s.CompactionTotalStall
 		agg.ProbeWakeups += s.ProbeWakeups
 		agg.StructuralRequests += s.StructuralRequests
 		agg.DriftWakeups += s.DriftWakeups
