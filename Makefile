@@ -7,7 +7,7 @@ GO ?= go
 # under the race detector.
 RACE_PKGS := ./internal/core/... ./internal/pagestore/... ./internal/device/... ./internal/forest/...
 
-.PHONY: help build test race bench bench-json conformance forest mixed compact fmt fmt-fix vet ci clean
+.PHONY: help build test race bench bench-json conformance forest mixed compact serve fmt fmt-fix vet ci clean
 
 help:
 	@echo "BF-Tree — available targets:"
@@ -19,8 +19,9 @@ help:
 	@echo "  make forest   - forest race suite + concurrent conformance under -race"
 	@echo "  make mixed    - workload-engine driver tests (golden model + concurrency) under -race"
 	@echo "  make compact  - incremental-compaction gate: stall comparison + race test"
+	@echo "  make serve    - serving-layer gate: server + loadgen suites under -race, serve-load scaling test"
 	@echo "  make bench    - run every benchmark once (smoke) "
-	@echo "  make bench-json - regenerate BENCH_scan.json / BENCH_batch.json / BENCH_mixed.json / BENCH_compact.json"
+	@echo "  make bench-json - regenerate every BENCH_*.json artifact (see the README table)"
 	@echo "  make fmt      - fail if any file needs gofmt"
 	@echo "  make fmt-fix  - gofmt -w the tree"
 	@echo "  make vet      - go vet ./..."
@@ -61,6 +62,13 @@ compact:
 	$(GO) test -race -run 'TestIncrementalCompactionRace|TestIncrementalMaintainConverges' ./internal/core/
 	$(GO) test -run 'TestCompactionStall' ./internal/bench/
 
+# The serving-layer gate: golden equivalence + capability matrix +
+# backpressure + the 8-client concurrency test under -race, then the
+# serve-load queue-depth scaling assertion over real connections.
+serve:
+	$(GO) test -race ./internal/server/...
+	$(GO) test -run 'TestServeLoad|TestArtifactRegistry' ./internal/bench/
+
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
@@ -72,6 +80,7 @@ bench-json:
 	$(GO) run ./cmd/bfbench -exp point-lookup -index=each -tuples 30000 -probes 256 -json .
 	$(GO) run ./cmd/bfbench -exp mixed-workload -index=each -tuples 30000 -probes 256 -json .
 	$(GO) run ./cmd/bfbench -exp compaction-stall -tuples 30000 -json .
+	$(GO) run ./cmd/bfbench -exp serve-load -index=each -tuples 20000 -probes 64 -json .
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -84,7 +93,7 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race conformance forest mixed compact bench
+ci: fmt vet build test race conformance forest mixed compact serve bench
 
 clean:
 	$(GO) clean -testcache

@@ -97,6 +97,25 @@ func BenchmarkChurn(b *testing.B) { runExperiment(b, "churn") }
 func BenchmarkScanStream(b *testing.B)   { runExperiment(b, "scan-stream") }
 func BenchmarkBatchedProbe(b *testing.B) { runExperiment(b, "batched-probe") }
 
+// Serving layer: the OLTP preset over real loopback HTTP connections
+// against a served bftree, swept across connection counts (see
+// internal/bench/serveload.go and DESIGN.md section 9). Reported ns/op
+// is the whole sweep including server start/stop per backend.
+
+func BenchmarkServeLoad(b *testing.B) {
+	s := benchScale()
+	s.Index = "bftree"
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.Run("serve-load", s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("serve-load produced no rows")
+		}
+	}
+}
+
 // Ablations (DESIGN.md section 4).
 
 func BenchmarkAblationBFGranularity(b *testing.B) { runExperiment(b, "ablation-granularity") }

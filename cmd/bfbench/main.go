@@ -52,6 +52,7 @@ import (
 var eachExperiments = map[string]bool{
 	"point-lookup":   true,
 	"mixed-workload": true,
+	"serve-load":     true,
 }
 
 // flagConsumers lists the experiments consuming a workload-shaping flag,
@@ -79,7 +80,7 @@ func main() {
 		backend = flag.String("index", "", "index backend for point-lookup experiments (registry name, or 'each')")
 		skew    = flag.Float64("skew", 0, "Zipfian skew for experiments that support it (shard-scale, mixed-workload); ≤ 1 is uniform")
 		mixName = flag.String("mix", "", "mixed-workload preset (oltp|olap|reporting|timeseries); empty runs all presets")
-		jsonDir = flag.String("json", "", "directory for experiments' JSON records (BENCH_scan.json, BENCH_batch.json, BENCH_point.json, BENCH_mixed.json)")
+		jsonDir = flag.String("json", "", "directory for experiments' JSON artifacts (each experiment's canonical BENCH_<name>.json; see the README artifact table)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -123,11 +124,11 @@ func main() {
 	if *backend != "" {
 		if *backend == "each" {
 			if !eachExperiments[*exp] {
-				fmt.Fprintln(os.Stderr, "bfbench: -index=each only applies to -exp point-lookup or mixed-workload; pick one backend for other experiments")
+				fmt.Fprintln(os.Stderr, "bfbench: -index=each only applies to -exp point-lookup, mixed-workload or serve-load; pick one backend for other experiments")
 				os.Exit(2)
 			}
 		} else if _, ok := index.Lookup(*backend); !ok {
-			fmt.Fprintf(os.Stderr, "bfbench: unknown index backend %q (have %v, or 'each' for point-lookup/mixed-workload)\n",
+			fmt.Fprintf(os.Stderr, "bfbench: unknown index backend %q (have %v, or 'each' for point-lookup/mixed-workload/serve-load)\n",
 				*backend, index.Backends())
 			os.Exit(2)
 		}

@@ -14,10 +14,14 @@ func init() {
 			if o.FPP == 0 {
 				o.FPP = defaultBFTreeFPP
 			}
+			// The registry's one Maintenance policy configures every
+			// shard: the forest splits IncrementalBatch across shards
+			// so the per-pass compaction budget is forest-wide.
 			f, err := forest.New(store, file, fieldIdx, forest.Options{
-				Shards: opts.ForestShards,
-				Hash:   opts.ForestHash,
-				Tree:   o,
+				Shards:      opts.ForestShards,
+				Hash:        opts.ForestHash,
+				Tree:        o,
+				Maintenance: &o.Maintenance,
 			})
 			if err != nil {
 				return nil, err

@@ -151,7 +151,7 @@ func RunBatchedProbe(scale Scale) (*Table, error) {
 			IndexReadsPerKey: r.IndexReadsPerKey,
 		})
 	}
-	if err := maybeWriteRecords(scale, "BENCH_batch.json", records); err != nil {
+	if err := writeArtifact(scale, "batched-probe", records); err != nil {
 		return nil, err
 	}
 	return t, nil

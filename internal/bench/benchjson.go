@@ -52,6 +52,29 @@ type Record struct {
 	LeavesCompacted   uint64 `json:"leaves_compacted,omitempty"`
 	// MaxFPP is the highest sampled effective false-positive rate.
 	MaxFPP float64 `json:"max_fpp,omitempty"`
+	// Backpressure counts the 429 rejections a serve-load client
+	// absorbed (sleep-and-retry) during its level.
+	Backpressure int64 `json:"backpressure,omitempty"`
+}
+
+// Artifacts maps each JSON-emitting experiment to its canonical
+// artifact filename — the single source of truth for what `-json DIR`
+// writes where. `bfbench -exp all -json DIR` emits every file into the
+// one directory without collision because each experiment owns exactly
+// one name here; the README's artifact table documents this mapping.
+var Artifacts = map[string]string{
+	"scan-stream":      "BENCH_scan.json",
+	"batched-probe":    "BENCH_batch.json",
+	"point-lookup":     "BENCH_point.json",
+	"mixed-workload":   "BENCH_mixed.json",
+	"compaction-stall": "BENCH_compact.json",
+	"serve-load":       "BENCH_serve.json",
+}
+
+// ArtifactFor returns the canonical artifact filename of an experiment,
+// or "" when the experiment emits no JSON records.
+func ArtifactFor(experiment string) string {
+	return Artifacts[experiment]
 }
 
 // WriteRecords writes records as an indented JSON array at dir/name.
@@ -67,12 +90,20 @@ func WriteRecords(dir, name string, records []Record) error {
 	return nil
 }
 
-// maybeWriteRecords writes records when the scale asked for JSON output
-// (JSONDir non-empty) and is a no-op otherwise, so experiments emit
-// their files only under `bfbench -json` / `make bench-json`.
-func maybeWriteRecords(scale Scale, name string, records []Record) error {
+// writeArtifact writes records to the experiment's canonical artifact
+// path when the scale asked for JSON output (JSONDir non-empty) and is
+// a no-op otherwise, so experiments emit their files only under
+// `bfbench -json` / `make bench-json`. Experiments must not pick
+// filenames themselves — the name comes from the Artifacts registry,
+// so the README table, bfbench's help and the emitted files cannot
+// disagree.
+func writeArtifact(scale Scale, experiment string, records []Record) error {
 	if scale.JSONDir == "" {
 		return nil
+	}
+	name := ArtifactFor(experiment)
+	if name == "" {
+		return fmt.Errorf("bench: experiment %q has no registered artifact", experiment)
 	}
 	return WriteRecords(scale.JSONDir, name, records)
 }

@@ -310,7 +310,7 @@ func RunCompactionStall(scale Scale) (*Table, error) {
 			MaxFPP:            r.MaxFPP,
 		})
 	}
-	if err := maybeWriteRecords(scale, "BENCH_compact.json", records); err != nil {
+	if err := writeArtifact(scale, "compaction-stall", records); err != nil {
 		return nil, err
 	}
 	return t, nil

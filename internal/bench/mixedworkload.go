@@ -291,7 +291,7 @@ func RunMixedWorkload(scale Scale) (*Table, error) {
 			Moved:      mixedMovesLabel(r.Moves),
 		})
 	}
-	if err := maybeWriteRecords(scale, "BENCH_mixed.json", records); err != nil {
+	if err := writeArtifact(scale, "mixed-workload", records); err != nil {
 		return nil, err
 	}
 	return t, nil

@@ -65,7 +65,7 @@ func RunPointLookup(scale Scale) (*Table, error) {
 			}
 		}
 	}
-	if err := maybeWriteRecords(scale, "BENCH_point.json", records); err != nil {
+	if err := writeArtifact(scale, "point-lookup", records); err != nil {
 		return nil, err
 	}
 	t.Notes = append(t.Notes,

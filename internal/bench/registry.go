@@ -41,6 +41,7 @@ var Experiments = map[string]Runner{
 	"shard-scale":      RunShardScale,
 	"mixed-workload":   RunMixedWorkload,
 	"compaction-stall": RunCompactionStall,
+	"serve-load":       RunServeLoad,
 
 	"point-lookup": RunPointLookup,
 
@@ -65,6 +66,7 @@ var experimentFlags = map[string][]string{
 	"shard-scale":      {"skew"},
 	"mixed-workload":   {"index", "skew", "mix", "json"},
 	"compaction-stall": {"json"},
+	"serve-load":       {"index", "json"},
 }
 
 // ExperimentFlags returns the workload-shaping flags the named

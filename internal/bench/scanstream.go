@@ -209,7 +209,7 @@ func RunScanStream(scale Scale) (*Table, error) {
 			PagesPerOp: r.PagesPerOp,
 		})
 	}
-	if err := maybeWriteRecords(scale, "BENCH_scan.json", records); err != nil {
+	if err := writeArtifact(scale, "scan-stream", records); err != nil {
 		return nil, err
 	}
 	return t, nil

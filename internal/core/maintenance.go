@@ -35,6 +35,13 @@ type MaintenanceStats struct {
 	// EffectiveFPP is the drift estimate observed by the most recent
 	// maintenance pass (0 until a pass has run).
 	EffectiveFPP float64
+	// FPPThreshold is the policy's compaction threshold (after
+	// defaulting): the Equation 14 estimate at which drift compaction
+	// triggers, 1 when drift compaction is disabled. Exposed so layers
+	// above the tree — the serving layer's admission backpressure — can
+	// relate live drift to the compaction point without holding the
+	// policy themselves.
+	FPPThreshold float64
 
 	// Passes counts maintenance passes (background or explicit Maintain).
 	Passes uint64
@@ -589,6 +596,7 @@ func (t *Tree) MaintenanceStats() MaintenanceStats {
 		Running:              t.maint.Load() != nil,
 		LimboPages:           int(t.limboLen.Load()),
 		EffectiveFPP:         math.Float64frombits(st.lastFPPBits.Load()),
+		FPPThreshold:         t.opts.Maintenance.FPPThreshold,
 		Passes:               st.passes.Load(),
 		PagesReclaimed:       st.pagesReclaimed.Load(),
 		Compactions:          st.compactions.Load(),

@@ -38,6 +38,27 @@ type Options struct {
 	Hash bool
 	// Tree carries the per-shard BF-Tree build options.
 	Tree core.Options
+	// Maintenance, when non-nil, is the forest-level maintenance
+	// policy: it replaces Tree.Maintenance on every shard, so one
+	// policy configures the whole forest instead of each shard's
+	// maintainer running whatever the per-tree options happened to
+	// carry. IncrementalBatch is interpreted as the forest-wide
+	// per-pass budget and split evenly across shards (ceiling, at
+	// least 1 per shard), so adding shards does not multiply the
+	// number of leaves compacted per pass. See ShardPolicy.
+	Maintenance *core.MaintenancePolicy
+}
+
+// ShardPolicy derives one shard's maintenance policy from a
+// forest-level policy over shards partitions: every knob is shared
+// verbatim except IncrementalBatch, which is the forest-wide per-pass
+// compaction budget split evenly (ceiling division, minimum 1 so a
+// positive budget stays incremental on every shard).
+func ShardPolicy(p core.MaintenancePolicy, shards int) core.MaintenancePolicy {
+	if p.IncrementalBatch > 0 && shards > 1 {
+		p.IncrementalBatch = (p.IncrementalBatch + shards - 1) / shards
+	}
+	return p
 }
 
 // Forest is a set of partitioned BF-Trees behind the one-tree API. All
@@ -77,8 +98,12 @@ func New(store *pagestore.Store, file *heapfile.File, fieldIdx int, opts Options
 		f.seps = seps
 		n = len(seps) + 1
 	}
+	treeOpts := opts.Tree
+	if opts.Maintenance != nil {
+		treeOpts.Maintenance = ShardPolicy(*opts.Maintenance, n)
+	}
 	for i := 0; i < n; i++ {
-		tr, err := core.BulkLoadPartition(store, file, fieldIdx, opts.Tree, f.partition(i, n))
+		tr, err := core.BulkLoadPartition(store, file, fieldIdx, treeOpts, f.partition(i, n))
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -317,17 +342,38 @@ func (f *Forest) Maintain() error {
 	return errors.Join(errs...)
 }
 
-// MaintenanceStats aggregates across shards: counters and limbo sum,
-// Running reports whether any shard's maintainer is live, and
-// EffectiveFPP is the worst shard's estimate.
+// MaintenanceStats aggregates across shards; see AggregateMaintenance
+// for the rules.
 func (f *Forest) MaintenanceStats() core.MaintenanceStats {
+	stats := make([]core.MaintenanceStats, len(f.trees))
+	for i, tr := range f.trees {
+		stats[i] = tr.MaintenanceStats()
+	}
+	return AggregateMaintenance(stats)
+}
+
+// AggregateMaintenance folds per-shard maintenance snapshots into one:
+// counters and limbo sum, Running reports any live maintainer,
+// EffectiveFPP is the worst shard's estimate (the forest's probe cost
+// is bounded by its most drifted shard), and FPPThreshold the
+// smallest non-zero shard threshold (the earliest point any shard
+// compacts — the conservative bound a serving layer throttles on).
+// Stall durations aggregate like the per-tree recorder: the max is
+// the worst single writer stall any shard caused, the min the
+// shortest non-zero recorded — shards that never compacted report
+// zero and are excluded rather than pinning the minimum — and the
+// total the sum.
+func AggregateMaintenance(stats []core.MaintenanceStats) core.MaintenanceStats {
 	var agg core.MaintenanceStats
-	for _, tr := range f.trees {
-		s := tr.MaintenanceStats()
+	for _, s := range stats {
 		agg.Running = agg.Running || s.Running
 		agg.LimboPages += s.LimboPages
 		if s.EffectiveFPP > agg.EffectiveFPP {
 			agg.EffectiveFPP = s.EffectiveFPP
+		}
+		if s.FPPThreshold > 0 &&
+			(agg.FPPThreshold == 0 || s.FPPThreshold < agg.FPPThreshold) {
+			agg.FPPThreshold = s.FPPThreshold
 		}
 		agg.Passes += s.Passes
 		agg.PagesReclaimed += s.PagesReclaimed
@@ -335,9 +381,6 @@ func (f *Forest) MaintenanceStats() core.MaintenanceStats {
 		agg.CompactionFailures += s.CompactionFailures
 		agg.IncrementalPasses += s.IncrementalPasses
 		agg.LeavesCompacted += s.LeavesCompacted
-		// Stall durations aggregate like the per-tree recorder: the max is
-		// the worst single writer stall any shard caused, the min the
-		// shortest recorded (zero shards excluded), the total the sum.
 		if s.CompactionMaxStall > agg.CompactionMaxStall {
 			agg.CompactionMaxStall = s.CompactionMaxStall
 		}
